@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cliTarget = `package svc
+
+func Teardown(c *Conn, node string) {
+	flush(c)
+	DeletePort(c, node)
+	notify(c)
+}
+`
+
+func writeTarget(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "svc.go"), []byte(cliTarget), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := run([]string{"bogus"}); err == nil || !strings.Contains(err.Error(), "unknown subcommand") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	if err := run([]string{"models"}); err != nil {
+		t.Fatalf("models: %v", err)
+	}
+}
+
+func TestRunScanWithPredefinedModel(t *testing.T) {
+	dir := writeTarget(t)
+	planPath := filepath.Join(dir, "plan.json")
+	if err := run([]string{"scan", "-dir", dir, "-model", "gswfit", "-plan", planPath}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	data, err := os.ReadFile(planPath)
+	if err != nil {
+		t.Fatalf("plan not written: %v", err)
+	}
+	if !strings.Contains(string(data), "MFC") {
+		t.Error("plan JSON missing MFC points")
+	}
+}
+
+func TestRunScanWithModelFile(t *testing.T) {
+	dir := writeTarget(t)
+	model := `{
+  "name": "custom",
+  "specs": [
+    {"name": "omit", "type": "MFC", "dsl": "change {\n\t$BLOCK{tag=b1; stmts=1,*}\n\t$CALL{name=Delete*}(...)\n\t$BLOCK{tag=b2; stmts=1,*}\n} into {\n\t$BLOCK{tag=b1}\n\t$BLOCK{tag=b2}\n}"}
+  ]
+}`
+	modelPath := filepath.Join(dir, "model.json")
+	if err := os.WriteFile(modelPath, []byte(model), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scan", "-dir", dir, "-model", modelPath}); err != nil {
+		t.Fatalf("scan with model file: %v", err)
+	}
+}
+
+func TestRunMutateWritesOutput(t *testing.T) {
+	dir := writeTarget(t)
+	out := filepath.Join(dir, "mutant.txt")
+	if err := run([]string{"mutate", "-dir", dir, "-model", "gswfit", "-index", "0", "-o", out}); err != nil {
+		t.Fatalf("mutate: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("mutant not written: %v", err)
+	}
+	if !strings.Contains(string(data), "__fault_enabled()") {
+		t.Error("mutant missing trigger branch")
+	}
+}
+
+func TestRunMutateIndexOutOfRange(t *testing.T) {
+	dir := writeTarget(t)
+	if err := run([]string{"mutate", "-dir", dir, "-model", "gswfit", "-index", "9999"}); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+}
+
+func TestRunScanErrors(t *testing.T) {
+	if err := run([]string{"scan", "-dir", t.TempDir()}); err == nil {
+		t.Fatal("scan of empty dir should fail")
+	}
+	dir := writeTarget(t)
+	if err := run([]string{"scan", "-dir", dir, "-model", "no-such-model"}); err == nil {
+		t.Fatal("unknown model should fail")
+	}
+}
+
+func TestRunDemoSampledCampaign(t *testing.T) {
+	// The demo subcommand runs a full campaign; keep it snappy.
+	if err := run([]string{"demo", "-campaign", "C", "-seed", "5", "-cores", "4"}); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	if err := run([]string{"demo", "-campaign", "Z"}); err == nil {
+		t.Fatal("unknown campaign should fail")
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import (
+	"profipy"
+	"profipy/internal/faultmodel"
+)
+
+// loadModelJSON parses and validates a fault-model JSON file.
+func loadModelJSON(data []byte) (*profipy.Model, error) {
+	return faultmodel.Load(data)
+}

@@ -1,0 +1,46 @@
+// Command profipyd serves ProFIPy as-a-service: an HTTP/JSON API for
+// uploading target projects, registering fault models, running fault
+// injection campaigns and retrieving failure-analysis reports.
+//
+//	profipyd -addr :8080 -cores 8
+//
+// Endpoints (see internal/saas):
+//
+//	POST /api/v1/projects            upload a project
+//	GET  /api/v1/projects            list projects
+//	POST /api/v1/faultmodels         register a fault model (JSON DSL)
+//	GET  /api/v1/faultmodels         list models
+//	GET  /api/v1/faultmodels/{name}  fetch a model
+//	POST /api/v1/campaigns           run a campaign
+//	GET  /api/v1/campaigns           list finished campaigns
+//	GET  /api/v1/campaigns/{id}      campaign report (JSON)
+//	GET  /api/v1/campaigns/{id}/text campaign report (text)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"profipy/internal/saas"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "profipyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("profipyd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cores := fs.Int("cores", 4, "simulated host cores (experiments run N-1 in parallel)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := saas.NewServer(*cores)
+	fmt.Printf("profipyd listening on %s (demo project: %s)\n", *addr, saas.DemoProjectID)
+	return http.ListenAndServe(*addr, srv.Handler())
+}

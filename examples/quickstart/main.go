@@ -1,0 +1,77 @@
+// Quickstart: compile a DSL bug specification, scan a target, and
+// generate a fault-injected version — the Scan half of the ProFIPy
+// workflow, against the Fig. 1a fault type (missing function call).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"profipy"
+)
+
+// The software-under-injection: a resource-cleanup routine in the style
+// of the OpenStack Neutron APIs the paper targets (delete_port & co).
+const target = `package neutron
+
+func ReleaseNetwork(c *Conn, tenant string) {
+	ports := ListPorts(c, tenant)
+	for _, p := range ports {
+		logRelease(p)
+		DeletePort(c, p)
+		confirm(c, p)
+	}
+	DeleteSubnet(c, tenant)
+	notifyQuota(c, tenant)
+}
+`
+
+// Fig. 1a of the paper: omit calls to Delete* APIs that stand between
+// other statements (so removal keeps the program well-formed).
+const mfcSpec = `
+change {
+	$BLOCK{tag=b1; stmts=1,*}
+	$CALL{name=Delete*}(...)
+	$BLOCK{tag=b2; stmts=1,*}
+} into {
+	$BLOCK{tag=b1}
+	$BLOCK{tag=b2}
+}`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Compile the bug specification into a meta-model.
+	if _, err := profipy.Compile("MFC", mfcSpec); err != nil {
+		return fmt.Errorf("compile spec: %w", err)
+	}
+	fmt.Println("spec MFC compiled")
+
+	// 2. Scan the target for injection points.
+	specs := []profipy.Spec{{Name: "MFC", Type: "MFC", Doc: "missing function call", DSL: mfcSpec}}
+	files := map[string][]byte{"neutron.go": []byte(target)}
+	plan, err := profipy.Scan(files, specs)
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	fmt.Printf("found %d injection points:\n", plan.Len())
+	for i, pt := range plan.Points {
+		fmt.Printf("  [%d] %s:%d in %s — %s\n", i, pt.File, pt.Line, pt.Func, pt.Snippet)
+	}
+
+	// 3. Generate the mutated version of the first point, with the
+	//    run-time trigger so the fault can be switched on and off.
+	spec, _ := plan.Spec("MFC")
+	mut, err := profipy.Mutate(files["neutron.go"], spec, plan.Points[0], profipy.MutateOptions{Triggered: true})
+	if err != nil {
+		return fmt.Errorf("mutate: %w", err)
+	}
+	fmt.Printf("\noriginal statements: %s\n", mut.Original)
+	fmt.Printf("injected statements: %s\n", mut.Mutated)
+	fmt.Printf("\n--- mutated source ---\n%s\n", mut.Source)
+	return nil
+}

@@ -1,0 +1,116 @@
+// saas-server demonstrates the as-a-service workflow: it starts the
+// profipyd API in-process, then acts as a client — registering a custom
+// fault model, launching a campaign against the preloaded python-etcd
+// demo project, and fetching the report — exactly the interaction a
+// ProFIPy web user has with the service.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"profipy/internal/saas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Start the service (in-process listener; `profipyd -addr :8080`
+	// serves the same handler over a real port).
+	ts := httptest.NewServer(saas.NewServer(4).Handler())
+	defer ts.Close()
+	fmt.Println("profipyd serving at", ts.URL)
+
+	// 1. Browse the predefined fault models.
+	models, err := getText(ts.URL + "/api/v1/faultmodels")
+	if err != nil {
+		return err
+	}
+	fmt.Println("available fault models:", models)
+
+	// 2. Register a custom fault model through the API.
+	model := map[string]any{
+		"name":        "lock-faults",
+		"description": "lock-recipe omission faults",
+		"specs": []map[string]string{
+			{"name": "omit-lockfile", "type": "MFC", "dsl": `
+change {
+	$CALL{name=osio.WriteFile,osio.Remove}(...)
+} into {
+}`},
+		},
+	}
+	if err := postJSON(ts.URL+"/api/v1/faultmodels", model, nil); err != nil {
+		return fmt.Errorf("register model: %w", err)
+	}
+	fmt.Println("registered fault model lock-faults")
+
+	// 3. Launch a campaign on the demo project with the custom model.
+	req, err := saas.DemoCampaignRequest("A", 42)
+	if err != nil {
+		return err
+	}
+	req.Specs = nil
+	req.Model = "lock-faults"
+	var out struct {
+		ID     string          `json:"id"`
+		Report json.RawMessage `json:"report"`
+	}
+	if err := postJSON(ts.URL+"/api/v1/campaigns", req, &out); err != nil {
+		return fmt.Errorf("run campaign: %w", err)
+	}
+	fmt.Println("campaign finished:", out.ID)
+
+	// 4. Fetch the human-readable report.
+	text, err := getText(ts.URL + "/api/v1/campaigns/" + out.ID + "/text")
+	if err != nil {
+		return err
+	}
+	fmt.Println(text)
+	return nil
+}
+
+func postJSON(url string, body any, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, payload)
+	}
+	if out != nil {
+		return json.Unmarshal(payload, out)
+	}
+	return nil
+}
+
+func getText(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 300 {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(data), nil
+}

@@ -1,0 +1,300 @@
+// Package analysis implements ProFIPy's data analysis phase (§IV-C/D):
+// classification of experiments into failure modes (crash, timeout and
+// user-defined log-pattern classes), the statistical distribution of
+// modes, drill-down by fault type and injected component, the service
+// availability metric (round-2 outcomes), the failure logging metric and
+// the failure propagation metric.
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+
+	"profipy/internal/scanner"
+	"profipy/internal/workload"
+)
+
+// Built-in failure mode names.
+const (
+	ModeCrash   = "crash"
+	ModeTimeout = "timeout"
+	ModeOther   = "failure"
+)
+
+// FailureClass is a user-defined failure mode: a regex searched in the
+// experiment's logs and outputs.
+type FailureClass struct {
+	Name    string `json:"name"`
+	Pattern string `json:"pattern"`
+	// Logs restricts the search to specific log streams; empty = all.
+	Logs []string `json:"logs,omitempty"`
+}
+
+// Record is one completed experiment.
+type Record struct {
+	Point     scanner.InjectionPoint `json:"point"`
+	FaultType string                 `json:"faultType"`
+	Covered   bool                   `json:"covered"`
+	Result    *workload.Result       `json:"result"`
+}
+
+// Failed reports a service failure in round 1 (fault enabled).
+func (r Record) Failed() bool {
+	return r.Result != nil && r.Result.Round1().Failed()
+}
+
+// Unavailable reports that the service also failed in round 2 (fault
+// disabled): the error state persisted and was not recovered.
+func (r Record) Unavailable() bool {
+	return r.Result != nil && len(r.Result.Rounds) > 1 && r.Result.Round2().Failed()
+}
+
+// Config parameterises the analysis.
+type Config struct {
+	// Classes are the user-defined failure modes.
+	Classes []FailureClass
+	// ErrorPattern identifies error lines in logs (failure-logging and
+	// propagation metrics); empty selects "ERROR".
+	ErrorPattern string
+	// Components maps component names to their source files; a
+	// component's log stream shares its name. Used by the propagation
+	// metric and the per-component drill-down.
+	Components map[string][]string
+}
+
+// TypeStats aggregates experiments sharing a dimension value.
+type TypeStats struct {
+	Total       int `json:"total"`
+	Covered     int `json:"covered"`
+	Failures    int `json:"failures"`
+	Unavailable int `json:"unavailable"`
+}
+
+// Report is the output of the data analysis phase.
+type Report struct {
+	Total       int `json:"total"`
+	Covered     int `json:"covered"`
+	Failures    int `json:"failures"`
+	Unavailable int `json:"unavailable"`
+
+	// Modes is the failure mode distribution (an experiment can exhibit
+	// several log-pattern modes).
+	Modes map[string]int `json:"modes"`
+	// ByType and ByComponent are drill-downs (§IV-C).
+	ByType      map[string]*TypeStats `json:"byType"`
+	ByComponent map[string]*TypeStats `json:"byComponent"`
+
+	// Availability is the fraction of experiments whose round 2 was
+	// healthy again (the service availability metric).
+	Availability float64 `json:"availability"`
+	// LoggedFailures counts failures with at least one error log line;
+	// LoggingRate = LoggedFailures / Failures (failure logging metric).
+	LoggedFailures int     `json:"loggedFailures"`
+	LoggingRate    float64 `json:"loggingRate"`
+	// PropagatedFailures counts failures whose error lines span more
+	// than one component (failure propagation metric).
+	PropagatedFailures int     `json:"propagatedFailures"`
+	PropagationRate    float64 `json:"propagationRate"`
+}
+
+// compiledClass pairs a class with its compiled regex.
+type compiledClass struct {
+	class FailureClass
+	re    *regexp.Regexp
+}
+
+// BuildReport classifies all experiment records and computes the metrics.
+func BuildReport(records []Record, cfg Config) (*Report, error) {
+	classes := make([]compiledClass, 0, len(cfg.Classes))
+	for _, cl := range cfg.Classes {
+		re, err := regexp.Compile(cl.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: class %q: %w", cl.Name, err)
+		}
+		classes = append(classes, compiledClass{class: cl, re: re})
+	}
+	errPat := cfg.ErrorPattern
+	if errPat == "" {
+		errPat = "ERROR"
+	}
+	errRE, err := regexp.Compile(errPat)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: error pattern: %w", err)
+	}
+
+	fileToComponent := map[string]string{}
+	for comp, files := range cfg.Components {
+		for _, f := range files {
+			fileToComponent[f] = comp
+		}
+	}
+
+	rep := &Report{
+		Modes:       map[string]int{},
+		ByType:      map[string]*TypeStats{},
+		ByComponent: map[string]*TypeStats{},
+	}
+	available := 0
+	for _, rec := range records {
+		rep.Total++
+		if rec.Covered {
+			rep.Covered++
+		}
+		typeStats := statsFor(rep.ByType, rec.FaultType)
+		comp := fileToComponent[rec.Point.File]
+		if comp == "" {
+			comp = rec.Point.File
+		}
+		compStats := statsFor(rep.ByComponent, comp)
+		typeStats.Total++
+		compStats.Total++
+		if rec.Covered {
+			typeStats.Covered++
+			compStats.Covered++
+		}
+		if rec.Result != nil && !rec.Unavailable() {
+			available++
+		}
+		if !rec.Failed() {
+			continue
+		}
+		rep.Failures++
+		typeStats.Failures++
+		compStats.Failures++
+		if rec.Unavailable() {
+			rep.Unavailable++
+			typeStats.Unavailable++
+			compStats.Unavailable++
+		}
+		for _, mode := range ClassifyRecord(rec, classes) {
+			rep.Modes[mode]++
+		}
+		if failureLogged(rec, errRE) {
+			rep.LoggedFailures++
+		}
+		if propagated(rec, errRE, cfg.Components) {
+			rep.PropagatedFailures++
+		}
+	}
+	if rep.Total > 0 {
+		rep.Availability = float64(available) / float64(rep.Total)
+	}
+	if rep.Failures > 0 {
+		rep.LoggingRate = float64(rep.LoggedFailures) / float64(rep.Failures)
+		rep.PropagationRate = float64(rep.PropagatedFailures) / float64(rep.Failures)
+	}
+	return rep, nil
+}
+
+func statsFor(m map[string]*TypeStats, key string) *TypeStats {
+	st, ok := m[key]
+	if !ok {
+		st = &TypeStats{}
+		m[key] = st
+	}
+	return st
+}
+
+// ClassifyRecord returns the failure modes of a failed experiment: every
+// matching user-defined class, plus the built-in crash/timeout modes when
+// nothing more specific matched.
+func ClassifyRecord(rec Record, classes []compiledClass) []string {
+	var modes []string
+	for _, cc := range classes {
+		if classMatches(rec, cc) {
+			modes = append(modes, cc.class.Name)
+		}
+	}
+	if len(modes) == 0 {
+		r1 := rec.Result.Round1()
+		switch {
+		case r1.Timeout:
+			modes = append(modes, ModeTimeout)
+		case r1.Crash:
+			modes = append(modes, ModeCrash)
+		default:
+			modes = append(modes, ModeOther)
+		}
+	}
+	return modes
+}
+
+// Classify is the exported form of ClassifyRecord for a single class set.
+func Classify(rec Record, cfgClasses []FailureClass) ([]string, error) {
+	classes := make([]compiledClass, 0, len(cfgClasses))
+	for _, cl := range cfgClasses {
+		re, err := regexp.Compile(cl.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: class %q: %w", cl.Name, err)
+		}
+		classes = append(classes, compiledClass{class: cl, re: re})
+	}
+	return ClassifyRecord(rec, classes), nil
+}
+
+func classMatches(rec Record, cc compiledClass) bool {
+	searchLogs := cc.class.Logs
+	if len(searchLogs) == 0 {
+		for name := range rec.Result.Logs {
+			searchLogs = append(searchLogs, name)
+		}
+		sort.Strings(searchLogs)
+	}
+	for _, name := range searchLogs {
+		if cc.re.MatchString(rec.Result.Logs[name]) {
+			return true
+		}
+	}
+	for _, rr := range rec.Result.Rounds {
+		if cc.re.MatchString(rr.Message) || cc.re.MatchString(rr.Exception) {
+			return true
+		}
+	}
+	return false
+}
+
+func failureLogged(rec Record, errRE *regexp.Regexp) bool {
+	for _, content := range rec.Result.Logs {
+		if errRE.MatchString(content) {
+			return true
+		}
+	}
+	return false
+}
+
+// propagated reports whether error lines appear in more than one
+// configured component's log.
+func propagated(rec Record, errRE *regexp.Regexp, components map[string][]string) bool {
+	if len(components) == 0 {
+		return false
+	}
+	impacted := 0
+	for comp := range components {
+		if errRE.MatchString(rec.Result.Logs[comp]) {
+			impacted++
+		}
+	}
+	return impacted >= 2
+}
+
+// Drill returns the failed records exhibiting the given failure mode.
+func Drill(records []Record, cfgClasses []FailureClass, mode string) ([]Record, error) {
+	var out []Record
+	for _, rec := range records {
+		if !rec.Failed() {
+			continue
+		}
+		modes, err := Classify(rec, cfgClasses)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range modes {
+			if m == mode {
+				out = append(out, rec)
+				break
+			}
+		}
+	}
+	return out, nil
+}

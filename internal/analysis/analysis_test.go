@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"profipy/internal/scanner"
+	"profipy/internal/workload"
+)
+
+func rec(faultType, file string, r1OK, r2OK bool, logs map[string]string) Record {
+	res := &workload.Result{
+		Rounds: []workload.RoundResult{{OK: r1OK}, {OK: r2OK}},
+		Logs:   logs,
+	}
+	if !r1OK {
+		res.Rounds[0].Crash = true
+		res.Rounds[0].Message = "uncaught exception"
+	}
+	return Record{
+		Point:     scanner.InjectionPoint{Spec: faultType, File: file},
+		FaultType: faultType,
+		Covered:   true,
+		Result:    res,
+	}
+}
+
+func TestBuildReportCountsAndMetrics(t *testing.T) {
+	records := []Record{
+		rec("T1", "client.go", true, true, map[string]string{}),
+		rec("T1", "client.go", false, true, map[string]string{"client": "ERROR boom\n"}),
+		rec("T2", "lock.go", false, false, map[string]string{"client": "ERROR a\n", "lock": "ERROR b\n"}),
+	}
+	rep, err := BuildReport(records, Config{
+		Classes: []FailureClass{
+			{Name: "boom", Pattern: "boom"},
+		},
+		Components: map[string][]string{
+			"client": {"client.go"},
+			"lock":   {"lock.go"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("BuildReport: %v", err)
+	}
+	if rep.Total != 3 || rep.Covered != 3 {
+		t.Errorf("total/covered = %d/%d", rep.Total, rep.Covered)
+	}
+	if rep.Failures != 2 {
+		t.Errorf("failures = %d, want 2", rep.Failures)
+	}
+	if rep.Unavailable != 1 {
+		t.Errorf("unavailable = %d, want 1", rep.Unavailable)
+	}
+	// Availability: 2 of 3 experiments had a healthy round 2.
+	if rep.Availability < 0.66 || rep.Availability > 0.67 {
+		t.Errorf("availability = %f", rep.Availability)
+	}
+	if rep.Modes["boom"] != 1 {
+		t.Errorf("modes = %v, want boom:1", rep.Modes)
+	}
+	// The second failure matched no class: built-in crash mode.
+	if rep.Modes[ModeCrash] != 1 {
+		t.Errorf("modes = %v, want crash:1", rep.Modes)
+	}
+	// Both failures logged errors.
+	if rep.LoggedFailures != 2 || rep.LoggingRate != 1.0 {
+		t.Errorf("logging = %d (%f)", rep.LoggedFailures, rep.LoggingRate)
+	}
+	// Only the T2 failure spans two components.
+	if rep.PropagatedFailures != 1 {
+		t.Errorf("propagated = %d, want 1", rep.PropagatedFailures)
+	}
+	// Drill-down by type.
+	if st := rep.ByType["T1"]; st.Total != 2 || st.Failures != 1 {
+		t.Errorf("T1 stats = %+v", st)
+	}
+	if st := rep.ByComponent["lock"]; st.Total != 1 || st.Failures != 1 || st.Unavailable != 1 {
+		t.Errorf("lock stats = %+v", st)
+	}
+}
+
+func TestClassifyTimeoutAndCrash(t *testing.T) {
+	timeoutRec := Record{
+		FaultType: "T",
+		Result: &workload.Result{
+			Rounds: []workload.RoundResult{{OK: false, Timeout: true}},
+			Logs:   map[string]string{},
+		},
+	}
+	modes, err := Classify(timeoutRec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 1 || modes[0] != ModeTimeout {
+		t.Errorf("modes = %v, want [timeout]", modes)
+	}
+}
+
+func TestClassifyMatchesExceptionType(t *testing.T) {
+	r := Record{
+		FaultType: "T",
+		Result: &workload.Result{
+			Rounds: []workload.RoundResult{{OK: false, Crash: true, Exception: "EtcdKeyNotFound"}},
+			Logs:   map[string]string{},
+		},
+	}
+	modes, err := Classify(r, []FailureClass{{Name: "knf", Pattern: "KeyNotFound"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 1 || modes[0] != "knf" {
+		t.Errorf("modes = %v", modes)
+	}
+}
+
+func TestClassRestrictedToLogStream(t *testing.T) {
+	r := Record{
+		FaultType: "T",
+		Result: &workload.Result{
+			Rounds: []workload.RoundResult{{OK: false, Crash: true}},
+			Logs:   map[string]string{"server": "ERROR x\n", "client": "fine\n"},
+		},
+	}
+	modes, err := Classify(r, []FailureClass{{Name: "client-err", Pattern: "ERROR", Logs: []string{"client"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 1 || modes[0] != ModeCrash {
+		t.Errorf("modes = %v, want crash fallback (pattern restricted to client log)", modes)
+	}
+}
+
+func TestBuildReportRejectsBadRegex(t *testing.T) {
+	if _, err := BuildReport(nil, Config{Classes: []FailureClass{{Name: "bad", Pattern: "("}}}); err == nil {
+		t.Error("bad class regex should fail")
+	}
+	if _, err := BuildReport(nil, Config{ErrorPattern: "("}); err == nil {
+		t.Error("bad error pattern should fail")
+	}
+}
+
+func TestDrill(t *testing.T) {
+	records := []Record{
+		rec("T1", "a.go", false, true, map[string]string{"l": "ERROR boom\n"}),
+		rec("T1", "a.go", false, true, map[string]string{"l": "ERROR other\n"}),
+		rec("T1", "a.go", true, true, map[string]string{}),
+	}
+	classes := []FailureClass{{Name: "boom", Pattern: "boom"}}
+	out, err := Drill(records, classes, "boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("drill = %d records, want 1", len(out))
+	}
+}
+
+func TestRenderContainsKeyFigures(t *testing.T) {
+	rep := &Report{
+		Total: 10, Covered: 5, Failures: 3, Unavailable: 1,
+		Availability: 0.9, LoggingRate: 0.5,
+		Modes:  map[string]int{"crash": 3},
+		ByType: map[string]*TypeStats{"MFC": {Total: 10, Covered: 5, Failures: 3}},
+	}
+	out := rep.Render("Test Campaign")
+	for _, want := range []string{"Test Campaign", "experiments:            10", "crash", "MFC", "90.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

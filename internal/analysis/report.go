@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render produces a human-readable text report in the style of §V.
+func (r *Report) Render(title string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", title)
+	fmt.Fprintf(&sb, "experiments:            %d\n", r.Total)
+	fmt.Fprintf(&sb, "covered by workload:    %d\n", r.Covered)
+	fmt.Fprintf(&sb, "failures (round 1):     %d\n", r.Failures)
+	fmt.Fprintf(&sb, "unavailable (round 2):  %d\n", r.Unavailable)
+	fmt.Fprintf(&sb, "service availability:   %.1f%%\n", 100*r.Availability)
+	fmt.Fprintf(&sb, "failure logging rate:   %.1f%%\n", 100*r.LoggingRate)
+	fmt.Fprintf(&sb, "failure propagation:    %.1f%%\n", 100*r.PropagationRate)
+
+	if len(r.Modes) > 0 {
+		sb.WriteString("\nfailure mode distribution:\n")
+		for _, k := range sortedKeys(r.Modes) {
+			fmt.Fprintf(&sb, "  %-28s %d\n", k, r.Modes[k])
+		}
+	}
+	if len(r.ByType) > 0 {
+		sb.WriteString("\nby fault type:            total  covered  failures  unavailable\n")
+		for _, k := range sortedStatKeys(r.ByType) {
+			st := r.ByType[k]
+			fmt.Fprintf(&sb, "  %-24s %6d  %7d  %8d  %11d\n", k, st.Total, st.Covered, st.Failures, st.Unavailable)
+		}
+	}
+	if len(r.ByComponent) > 0 {
+		sb.WriteString("\nby injected component:    total  covered  failures  unavailable\n")
+		for _, k := range sortedStatKeys(r.ByComponent) {
+			st := r.ByComponent[k]
+			fmt.Fprintf(&sb, "  %-24s %6d  %7d  %8d  %11d\n", k, st.Total, st.Covered, st.Failures, st.Unavailable)
+		}
+	}
+	return sb.String()
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedStatKeys(m map[string]*TypeStats) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

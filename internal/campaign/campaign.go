@@ -1,0 +1,195 @@
+// Package campaign orchestrates the complete ProFIPy workflow of Fig. 2:
+// Scan (DSL compile + source scan + plan), optional coverage analysis,
+// Execution (per-experiment mutation, container deploy, two workload
+// rounds, teardown — parallelised under the N−1 rule), and Data Analysis
+// (failure modes, availability, logging, propagation).
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"profipy/internal/analysis"
+	"profipy/internal/coverage"
+	"profipy/internal/faultmodel"
+	"profipy/internal/mutator"
+	"profipy/internal/pattern"
+	"profipy/internal/plan"
+	"profipy/internal/sandbox"
+	"profipy/internal/scanner"
+	"profipy/internal/workload"
+)
+
+// Campaign is a fully configured fault injection campaign.
+type Campaign struct {
+	// Name labels reports.
+	Name string
+	// Files holds every file deployed into experiment containers
+	// (target software + workload scripts), keyed by container path.
+	Files map[string][]byte
+	// ScanFiles names the subset of Files to scan for injection points
+	// (empty = scan everything).
+	ScanFiles []string
+	// Faultload is the set of bug specifications to inject.
+	Faultload []faultmodel.Spec
+	// Workload configures the two-round experiment execution.
+	Workload workload.Config
+	// Runtime is the container runtime; Image carries the resource
+	// profile (files are filled in per experiment).
+	Runtime *sandbox.Runtime
+	Image   sandbox.Image
+	// Seed drives per-experiment determinism.
+	Seed int64
+	// ReducePlan executes only workload-covered points (§IV-D coverage
+	// optimization). When false, all points run and coverage is reported.
+	ReducePlan bool
+	// SampleN caps the number of experiments (0 = no cap); sampling is
+	// deterministic under Seed.
+	SampleN int
+	// Analysis configures failure classification and metrics.
+	Analysis analysis.Config
+	// TraceHook, when set, is called on every experiment container to
+	// enable span recording (the kvclient campaign passes
+	// kvclient.EnableTracing).
+	TraceHook func(c *sandbox.Container)
+}
+
+// Result is the outcome of a campaign run.
+type Result struct {
+	Plan     *plan.Plan
+	Covered  map[string]bool
+	Records  []analysis.Record
+	Report   *analysis.Report
+	ScanTime time.Duration
+	CovTime  time.Duration
+	ExecTime time.Duration
+	// Errors counts experiments aborted by infrastructure errors.
+	Errors int
+}
+
+// Run executes the full workflow.
+func (c *Campaign) Run() (*Result, error) {
+	if len(c.Files) == 0 {
+		return nil, fmt.Errorf("campaign %s: no target files", c.Name)
+	}
+	if c.Runtime == nil {
+		return nil, fmt.Errorf("campaign %s: no runtime", c.Name)
+	}
+
+	// --- Scan phase ---
+	scanStart := time.Now()
+	scanFiles := c.scanSubset()
+	pl, err := plan.Build(scanFiles, c.Faultload)
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: scan: %w", c.Name, err)
+	}
+	if c.SampleN > 0 {
+		pl = pl.Sample(c.SampleN, c.Seed)
+	}
+	res := &Result{Plan: pl, ScanTime: time.Since(scanStart)}
+
+	// --- Coverage analysis (fault-free instrumented run) ---
+	covStart := time.Now()
+	covered, err := coverage.Analyze(c.Runtime, c.Image, c.Files, pl.Points, c.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
+	res.Covered = covered
+	res.CovTime = time.Since(covStart)
+
+	execPoints := pl.Points
+	if c.ReducePlan {
+		execPoints = coverage.Reduce(pl.Points, covered)
+	}
+
+	// --- Execution phase (parallel containers, N−1 rule) ---
+	models, err := compileByName(c.Faultload)
+	if err != nil {
+		return nil, err
+	}
+	execStart := time.Now()
+	records := sandbox.RunBatch(c.Runtime, c.Image, len(execPoints), func(i int) analysis.Record {
+		return c.runExperiment(execPoints[i], models, pl, covered, int64(i))
+	})
+	res.ExecTime = time.Since(execStart)
+	res.Records = records
+	for _, r := range records {
+		if r.Result == nil {
+			res.Errors++
+		}
+	}
+
+	// --- Data analysis phase ---
+	report, err := analysis.BuildReport(records, c.Analysis)
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
+	res.Report = report
+	return res, nil
+}
+
+// runExperiment executes one fault injection experiment: generate the
+// mutated version, deploy a container with it, run the two-round
+// workload, collect results, tear the container down.
+func (c *Campaign) runExperiment(pt scanner.InjectionPoint, models map[string]*pattern.MetaModel,
+	pl *plan.Plan, covered map[string]bool, idx int64) analysis.Record {
+
+	rec := analysis.Record{Point: pt, FaultType: pl.TypeOf(pt), Covered: covered[pt.ID()]}
+	mm, ok := models[pt.Spec]
+	if !ok {
+		return rec
+	}
+	src, ok := c.Files[pt.File]
+	if !ok {
+		return rec
+	}
+	mut, err := mutator.Apply(pt.File, src, mm, pt, mutator.Options{Triggered: true})
+	if err != nil {
+		return rec
+	}
+
+	img := c.Image
+	img.Files = make(map[string][]byte, len(c.Files))
+	for name, data := range c.Files {
+		img.Files[name] = data
+	}
+	img.Files[pt.File] = mut.Source
+
+	ctr := c.Runtime.CreateSeeded(img, c.Seed+idx+1)
+	defer func() { _ = c.Runtime.Destroy(ctr) }()
+	if c.TraceHook != nil {
+		c.TraceHook(ctr)
+	}
+
+	result, err := workload.Run(ctr, c.Workload)
+	if err != nil {
+		return rec
+	}
+	rec.Result = result
+	return rec
+}
+
+func (c *Campaign) scanSubset() map[string][]byte {
+	if len(c.ScanFiles) == 0 {
+		return c.Files
+	}
+	out := make(map[string][]byte, len(c.ScanFiles))
+	for _, name := range c.ScanFiles {
+		if data, ok := c.Files[name]; ok {
+			out[name] = data
+		}
+	}
+	return out
+}
+
+func compileByName(specs []faultmodel.Spec) (map[string]*pattern.MetaModel, error) {
+	models, err := faultmodel.CompileAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*pattern.MetaModel, len(models))
+	for _, mm := range models {
+		out[mm.Name] = mm
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+// Package faultmodel manages bug specifications and fault models: named
+// collections of DSL specs that can be saved and imported as JSON (§IV-A),
+// plus the predefined fault models derived from previous fault injection
+// studies (G-SWFIT [14] and the exception/resource fault types of §III).
+package faultmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"profipy/internal/dsl"
+	"profipy/internal/pattern"
+)
+
+// Spec is one bug specification: a named `change{}into{}` DSL text with a
+// fault-type label used to group experiments in reports.
+type Spec struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Doc  string `json:"doc,omitempty"`
+	DSL  string `json:"dsl"`
+}
+
+// Compile compiles the spec's DSL into a meta-model.
+func (s Spec) Compile() (*pattern.MetaModel, error) {
+	return dsl.Compile(s.Name, s.DSL)
+}
+
+// CompileAll compiles a faultload, failing on the first bad spec.
+func CompileAll(specs []Spec) ([]*pattern.MetaModel, error) {
+	out := make([]*pattern.MetaModel, 0, len(specs))
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("faultmodel: spec with empty name")
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("faultmodel: duplicate spec name %q", s.Name)
+		}
+		seen[s.Name] = true
+		mm, err := s.Compile()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mm)
+	}
+	return out, nil
+}
+
+// Model is a named fault model: a set of specs with documentation.
+type Model struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Specs       []Spec `json:"specs"`
+}
+
+// Validate compiles every spec in the model.
+func (m *Model) Validate() error {
+	_, err := CompileAll(m.Specs)
+	return err
+}
+
+// Save serializes the model to JSON (the format users save and import
+// across campaigns).
+func (m *Model) Save() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// Load parses a model from JSON and validates it.
+func Load(data []byte) (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("faultmodel: parse model: %w", err)
+	}
+	if m.Name == "" {
+		return nil, fmt.Errorf("faultmodel: model has no name")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Registry holds named fault models.
+type Registry struct {
+	models map[string]*Model
+}
+
+// NewRegistry creates a registry preloaded with the predefined models.
+func NewRegistry() *Registry {
+	r := &Registry{models: make(map[string]*Model)}
+	r.Register(GSWFIT())
+	r.Register(Extras())
+	return r
+}
+
+// Register adds or replaces a model.
+func (r *Registry) Register(m *Model) { r.models[m.Name] = m }
+
+// Get looks a model up by name.
+func (r *Registry) Get(name string) (*Model, bool) {
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Names lists registered model names, sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,90 @@
+package faultmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPredefinedModelsCompile(t *testing.T) {
+	for _, m := range []*Model{GSWFIT(), Extras()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("model %s does not compile: %v", m.Name, err)
+		}
+	}
+}
+
+func TestGSWFITHasCoreFaultTypes(t *testing.T) {
+	m := GSWFIT()
+	want := []string{"MFC", "MIFS", "MIA", "MIEB", "MLAC", "MLOC", "WVAV", "MVIV", "WPFV", "WAEP"}
+	have := map[string]bool{}
+	for _, s := range m.Specs {
+		have[s.Name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("G-SWFIT model missing fault type %s", name)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := GSWFIT()
+	data, err := m.Save()
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	m2, err := Load(data)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if m2.Name != m.Name || len(m2.Specs) != len(m.Specs) {
+		t.Fatalf("round trip mismatch: %s/%d vs %s/%d", m2.Name, len(m2.Specs), m.Name, len(m.Specs))
+	}
+}
+
+func TestLoadRejectsBadModels(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+	}{
+		{"bad json", `{not json`},
+		{"no name", `{"specs":[]}`},
+		{"bad spec", `{"name":"x","specs":[{"name":"s","dsl":"change { $BOGUS } into { }"}]}`},
+	}
+	for _, tc := range tests {
+		if _, err := Load([]byte(tc.data)); err == nil {
+			t.Errorf("%s: Load should fail", tc.name)
+		}
+	}
+}
+
+func TestCompileAllRejectsDuplicatesAndEmpty(t *testing.T) {
+	specs := []Spec{
+		{Name: "a", DSL: "change { f() } into { }"},
+		{Name: "a", DSL: "change { g() } into { }"},
+	}
+	if _, err := CompileAll(specs); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("err = %v, want duplicate error", err)
+	}
+	if _, err := CompileAll([]Spec{{Name: "", DSL: "change { f() } into { }"}}); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) < 2 {
+		t.Fatalf("registry names = %v, want gswfit and extras", names)
+	}
+	if _, ok := r.Get("gswfit"); !ok {
+		t.Error("gswfit not registered")
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("unexpected model")
+	}
+	r.Register(&Model{Name: "custom", Specs: nil})
+	if _, ok := r.Get("custom"); !ok {
+		t.Error("custom model not registered")
+	}
+}

@@ -1,0 +1,245 @@
+package faultmodel_test
+
+import (
+	"strings"
+	"testing"
+
+	"profipy/internal/faultmodel"
+	"profipy/internal/mutator"
+	"profipy/internal/pattern"
+	"profipy/internal/scanner"
+)
+
+// A target exercising every G-SWFIT fault type at least once.
+const gswfitTarget = `package svc
+
+func Process(items []string, node string, limit int) {
+	state := openState()
+	record(state, node)
+	closeState(state)
+
+	if node != "" {
+		audit(node)
+	}
+
+	if limit > 0 {
+		shrink(limit)
+	} else {
+		grow(limit)
+	}
+
+	if node != "" && limit > 0 {
+		refresh(node)
+	}
+
+	if node == "" || limit < 0 {
+		reject(node)
+	}
+
+	mode := "fast"
+	mode = "slow-path"
+	submit(node, mode, 42)
+}
+`
+
+func scanWith(t *testing.T, specName string) (*pattern.MetaModel, []scanner.InjectionPoint) {
+	t.Helper()
+	model := faultmodel.GSWFIT()
+	var spec faultmodel.Spec
+	for _, s := range model.Specs {
+		if s.Name == specName {
+			spec = s
+		}
+	}
+	if spec.Name == "" {
+		t.Fatalf("spec %s not in gswfit model", specName)
+	}
+	mm, err := spec.Compile()
+	if err != nil {
+		t.Fatalf("compile %s: %v", specName, err)
+	}
+	pts, err := scanner.ScanSource("svc.go", []byte(gswfitTarget), []*pattern.MetaModel{mm})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return mm, pts
+}
+
+func applyFirst(t *testing.T, specName string) string {
+	t.Helper()
+	mm, pts := scanWith(t, specName)
+	if len(pts) == 0 {
+		t.Fatalf("%s: no injection points in target", specName)
+	}
+	res, err := mutator.Apply("svc.go", []byte(gswfitTarget), mm, pts[0], mutator.Options{})
+	if err != nil {
+		t.Fatalf("%s: apply: %v", specName, err)
+	}
+	// Every G-SWFIT mutant must still be valid target syntax.
+	if _, err := scanner.ScanSource("svc.go", res.Source, nil); err != nil {
+		t.Fatalf("%s: mutant does not parse: %v\n%s", specName, err, res.Source)
+	}
+	return string(res.Source)
+}
+
+func TestGSWFITMFCRemovesCall(t *testing.T) {
+	out := applyFirst(t, "MFC")
+	// The first MFC match is record() between openState and closeState.
+	if strings.Contains(out, "record(state, node)") {
+		t.Error("MFC mutant still contains the omitted call")
+	}
+	if !strings.Contains(out, "openState()") || !strings.Contains(out, "closeState(state)") {
+		t.Error("MFC mutant lost surrounding statements")
+	}
+}
+
+func TestGSWFITMIFSRemovesGuardedBlock(t *testing.T) {
+	out := applyFirst(t, "MIFS")
+	if strings.Contains(out, "audit(node)") {
+		t.Error("MIFS mutant still contains the guarded block")
+	}
+}
+
+func TestGSWFITMIAKeepsBodyDropsGuard(t *testing.T) {
+	out := applyFirst(t, "MIA")
+	if !strings.Contains(out, "audit(node)") {
+		t.Error("MIA mutant lost the guarded body")
+	}
+	if strings.Contains(out, `if node != "" {
+	audit(node)
+}`) {
+		t.Error("MIA mutant kept the guard")
+	}
+}
+
+func TestGSWFITMIEBDropsElse(t *testing.T) {
+	out := applyFirst(t, "MIEB")
+	if strings.Contains(out, "grow(limit)") {
+		t.Error("MIEB mutant still contains the else branch")
+	}
+	if !strings.Contains(out, "shrink(limit)") {
+		t.Error("MIEB mutant lost the then branch")
+	}
+}
+
+func TestGSWFITMLACDropsAndClause(t *testing.T) {
+	out := applyFirst(t, "MLAC")
+	if !strings.Contains(out, "refresh(node)") {
+		t.Error("MLAC mutant lost the body")
+	}
+	if strings.Contains(out, `node != "" && limit > 0`) {
+		t.Error("MLAC mutant kept the AND condition")
+	}
+}
+
+func TestGSWFITMLOCDropsOrClause(t *testing.T) {
+	out := applyFirst(t, "MLOC")
+	if !strings.Contains(out, "reject(node)") {
+		t.Error("MLOC mutant lost the body")
+	}
+	if strings.Contains(out, `node == "" || limit < 0`) {
+		t.Error("MLOC mutant kept the OR condition")
+	}
+}
+
+func TestGSWFITWVAVCorruptsAssignedString(t *testing.T) {
+	out := applyFirst(t, "WVAV")
+	if !strings.Contains(out, `__corrupt("slow-path")`) {
+		t.Errorf("WVAV mutant missing corruption:\n%s", out)
+	}
+}
+
+func TestGSWFITMVIVNilsInitializer(t *testing.T) {
+	mm, pts := scanWith(t, "MVIV")
+	// Find the mode := "fast" site specifically.
+	var target *scanner.InjectionPoint
+	for i := range pts {
+		if strings.Contains(pts[i].Snippet, "mode") {
+			target = &pts[i]
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("MVIV did not match the mode initialization")
+	}
+	res, err := mutator.Apply("svc.go", []byte(gswfitTarget), mm, *target, mutator.Options{})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !strings.Contains(string(res.Source), "mode := nil") {
+		t.Errorf("MVIV mutant missing nil initialization:\n%s", res.Source)
+	}
+}
+
+func TestGSWFITWPFVNilsVariableParameter(t *testing.T) {
+	mm, pts := scanWith(t, "WPFV")
+	// Pick the submit(node, mode, 42) site.
+	var target *scanner.InjectionPoint
+	for i := range pts {
+		if strings.Contains(pts[i].Snippet, "submit") {
+			target = &pts[i]
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("WPFV did not match the submit call")
+	}
+	res, err := mutator.Apply("svc.go", []byte(gswfitTarget), mm, *target, mutator.Options{})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !strings.Contains(string(res.Source), "submit(nil, mode, 42)") {
+		t.Errorf("WPFV mutant should nil the first variable parameter:\n%s", res.Source)
+	}
+}
+
+func TestGSWFITWAEPCorruptsIntParameter(t *testing.T) {
+	mm, pts := scanWith(t, "WAEP")
+	var target *scanner.InjectionPoint
+	for i := range pts {
+		if strings.Contains(pts[i].Snippet, "submit") {
+			target = &pts[i]
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("WAEP did not match the submit call")
+	}
+	res, err := mutator.Apply("svc.go", []byte(gswfitTarget), mm, *target, mutator.Options{})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !strings.Contains(string(res.Source), "__corrupt(42)") {
+		t.Errorf("WAEP mutant should corrupt the int parameter:\n%s", res.Source)
+	}
+}
+
+// Every spec of the predefined models must produce parseable mutants on
+// every point it finds in the target — the structural safety property of
+// print-and-reparse mutation.
+func TestAllPredefinedSpecsProduceValidMutants(t *testing.T) {
+	for _, model := range []*faultmodel.Model{faultmodel.GSWFIT(), faultmodel.Extras()} {
+		for _, spec := range model.Specs {
+			mm, err := spec.Compile()
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			pts, err := scanner.ScanSource("svc.go", []byte(gswfitTarget), []*pattern.MetaModel{mm})
+			if err != nil {
+				t.Fatalf("%s: scan: %v", spec.Name, err)
+			}
+			for _, pt := range pts {
+				for _, triggered := range []bool{false, true} {
+					res, err := mutator.Apply("svc.go", []byte(gswfitTarget), mm, pt, mutator.Options{Triggered: triggered})
+					if err != nil {
+						t.Fatalf("%s at %s (triggered=%v): %v", spec.Name, pt.ID(), triggered, err)
+					}
+					if _, err := scanner.ScanSource("svc.go", res.Source, nil); err != nil {
+						t.Fatalf("%s at %s (triggered=%v): mutant does not parse: %v",
+							spec.Name, pt.ID(), triggered, err)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package faultmodel
+
+// GSWFIT returns the predefined fault model derived from the G-SWFIT
+// field study [14]: the most frequent fault types found across open-source
+// projects, transliterated to the Go-flavoured DSL. These are the
+// "pre-defined fault models based on previous fault injection studies"
+// that ProFIPy ships with (§IV-A).
+func GSWFIT() *Model {
+	return &Model{
+		Name:        "gswfit",
+		Description: "G-SWFIT generic software fault model (Duraes & Madeira, IEEE TSE 2006)",
+		Specs: []Spec{
+			{
+				Name: "MFC", Type: "MFC",
+				Doc: "Missing function call: omit a call whose return value is unused",
+				DSL: `
+change {
+	$BLOCK{tag=b1; stmts=1,*}
+	$CALL{name=*}(...)
+	$BLOCK{tag=b2; stmts=1,*}
+} into {
+	$BLOCK{tag=b1}
+	$BLOCK{tag=b2}
+}`,
+			},
+			{
+				Name: "MIFS", Type: "MIFS",
+				Doc: "Missing if construct plus statements: remove a small guarded block",
+				DSL: `
+change {
+	if $EXPR#e {
+		$BLOCK{tag=body; stmts=1,4}
+	}
+} into {
+}`,
+			},
+			{
+				Name: "MIA", Type: "MIA",
+				Doc: "Missing if construct around statements: keep the body, drop the guard",
+				DSL: `
+change {
+	if $EXPR#e {
+		$BLOCK{tag=body; stmts=1,4}
+	}
+} into {
+	$BLOCK{tag=body}
+}`,
+			},
+			{
+				Name: "MIEB", Type: "MIEB",
+				Doc: "Missing else branch: drop the else part of an if/else",
+				DSL: `
+change {
+	if $EXPR#e {
+		$BLOCK{tag=then; stmts=1,4}
+	} else {
+		$BLOCK{tag=other; stmts=1,4}
+	}
+} into {
+	if $EXPR#e {
+		$BLOCK{tag=then}
+	}
+}`,
+			},
+			{
+				Name: "MLAC", Type: "MLAC",
+				Doc: "Missing AND clause in a branch condition",
+				DSL: `
+change {
+	if $EXPR#a && $EXPR#b {
+		$BLOCK{tag=body; stmts=1,*}
+	}
+} into {
+	if $EXPR#a {
+		$BLOCK{tag=body}
+	}
+}`,
+			},
+			{
+				Name: "MLOC", Type: "MLOC",
+				Doc: "Missing OR clause in a branch condition",
+				DSL: `
+change {
+	if $EXPR#a || $EXPR#b {
+		$BLOCK{tag=body; stmts=1,*}
+	}
+} into {
+	if $EXPR#a {
+		$BLOCK{tag=body}
+	}
+}`,
+			},
+			{
+				Name: "WVAV", Type: "WVAV",
+				Doc: "Wrong value assigned to a variable (string corruption)",
+				DSL: `
+change {
+	$VAR#x = $STRING#v
+} into {
+	$VAR#x = $CORRUPT($STRING#v)
+}`,
+			},
+			{
+				Name: "MVIV", Type: "MVIV",
+				Doc: "Missing variable initialization using a value",
+				DSL: `
+change {
+	$VAR#x := $EXPR#v
+} into {
+	$VAR#x := $NIL
+}`,
+			},
+			{
+				Name: "WPFV", Type: "WPFV",
+				Doc: "Wrong variable used in a call parameter (replaced with nil)",
+				DSL: `
+change {
+	$CALL#c{name=*}(..., $VAR#p, ...)
+} into {
+	$CALL#c(..., $NIL#p, ...)
+}`,
+			},
+			{
+				Name: "WAEP", Type: "WAEP",
+				Doc: "Wrong arithmetic expression in a call parameter",
+				DSL: `
+change {
+	$CALL#c{name=*}(..., $INT#n, ...)
+} into {
+	$CALL#c(..., $CORRUPT($INT#n), ...)
+}`,
+			},
+		},
+	}
+}
+
+// Extras returns the additional fault types that §III reports being used
+// in an industrial context: exception injection, None/nil returns from
+// library calls, artificial delays and resource hogs.
+func Extras() *Model {
+	return &Model{
+		Name:        "extras",
+		Description: "Exception, nil-return, delay and resource-hog fault types (§III)",
+		Specs: []Spec{
+			{
+				Name: "THROW", Type: "ThrowException",
+				Doc: "Raise an exception in place of a call",
+				DSL: `
+change {
+	$VAR#v := $CALL#c{name=*}(...)
+} into {
+	$PANIC{type=InjectedException; msg=exception injected by fault model}
+}`,
+			},
+			{
+				Name: "NILRET", Type: "NilReturn",
+				Doc: "A library call returns nil instead of an object",
+				DSL: `
+change {
+	$VAR#v := $CALL#c{name=*}(...)
+} into {
+	$VAR#v := $NIL
+}`,
+			},
+			{
+				Name: "DELAY", Type: "Delay",
+				Doc: "Artificial time delay after a call",
+				DSL: `
+change {
+	$VAR#v := $CALL#c{name=*}(...)
+} into {
+	$VAR#v := $CALL#c
+	$TIMEOUT{ms=5000}
+}`,
+			},
+			{
+				Name: "HOG", Type: "CPUHog",
+				Doc: "CPU hog spawned after a call",
+				DSL: `
+change {
+	$VAR#v := $CALL#c{name=*}(...)
+} into {
+	$VAR#v := $CALL#c
+	$HOG{res=cpu; amount=2}
+}`,
+			},
+		},
+	}
+}

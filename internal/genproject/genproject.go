@@ -1,0 +1,201 @@
+// Package genproject generates deterministic synthetic projects for the
+// performance evaluation of §V-D: the paper scans the three biggest
+// OpenStack modules (~400K lines of Python) with 120 DSL patterns,
+// finding 17,488 injectable locations. This generator produces corpora of
+// configurable size with a realistic density of call statements, guarded
+// blocks, assignments and string literals, plus a matching family of 120
+// DSL patterns, so scan throughput can be measured at any scale.
+package genproject
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"profipy/internal/faultmodel"
+)
+
+// Config sizes the generated project.
+type Config struct {
+	// Files is the number of source files.
+	Files int
+	// FuncsPerFile is the number of functions per file.
+	FuncsPerFile int
+	// StmtsPerFunc is the approximate statement count per function.
+	StmtsPerFunc int
+	// Seed drives deterministic generation.
+	Seed int64
+}
+
+// DefaultConfig yields roughly the given number of source lines.
+func DefaultConfig(lines int, seed int64) Config {
+	// One 10-statement function renders to ~27 lines on average.
+	funcs := lines / 27
+	if funcs < 1 {
+		funcs = 1
+	}
+	files := funcs / 20
+	if files < 1 {
+		files = 1
+	}
+	return Config{Files: files, FuncsPerFile: funcs / files, StmtsPerFunc: 10, Seed: seed}
+}
+
+// services are the fake subsystem prefixes used in generated call names;
+// the generated DSL patterns target them by glob.
+var services = []string{
+	"compute", "network", "volume", "image", "identity",
+	"scheduler", "metering", "baremetal", "dns", "queue",
+}
+
+var verbs = []string{"create", "delete", "update", "get", "list", "attach", "detach", "sync"}
+
+// auditors are the guard-body call names; MIFS patterns key on them.
+var auditors = []string{"audit", "trace", "mark"}
+
+// Generate produces the synthetic source files, keyed by file name.
+func Generate(cfg Config) map[string][]byte {
+	if cfg.Files < 1 {
+		cfg.Files = 1
+	}
+	if cfg.FuncsPerFile < 1 {
+		cfg.FuncsPerFile = 1
+	}
+	if cfg.StmtsPerFunc < 3 {
+		cfg.StmtsPerFunc = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	files := make(map[string][]byte, cfg.Files)
+	for i := 0; i < cfg.Files; i++ {
+		files[fmt.Sprintf("gen/mod%03d.go", i)] = genFile(rng, i, cfg)
+	}
+	return files
+}
+
+// Lines counts the total source lines of a generated project.
+func Lines(files map[string][]byte) int {
+	total := 0
+	for _, data := range files {
+		total += strings.Count(string(data), "\n")
+	}
+	return total
+}
+
+func genFile(rng *rand.Rand, idx int, cfg Config) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "package mod%03d\n\n", idx)
+	for f := 0; f < cfg.FuncsPerFile; f++ {
+		genFunc(rng, &sb, idx, f, cfg.StmtsPerFunc)
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+func genFunc(rng *rand.Rand, sb *strings.Builder, fileIdx, fnIdx, stmts int) {
+	fmt.Fprintf(sb, "func handler%03d_%03d(node string, count int) any {\n", fileIdx, fnIdx)
+	sb.WriteString("\tstate := prepare(node)\n")
+	for s := 0; s < stmts; s++ {
+		switch rng.Intn(6) {
+		case 0: // bare service call (MFC-style target)
+			fmt.Fprintf(sb, "\t%s(state, node)\n", callName(rng))
+		case 1: // assignment from a call (throw/nil-return target)
+			fmt.Fprintf(sb, "\tres%d := %s(state, count)\n", s, callName(rng))
+			fmt.Fprintf(sb, "\tuse(res%d)\n", s)
+		case 2: // guarded block (MIFS target, keyed by auditor + increment)
+			fmt.Fprintf(sb, "\tif node != \"\" {\n\t\t%s(node)\n\t\tcount = count + %d\n\t}\n",
+				auditors[rng.Intn(len(auditors))], rng.Intn(9)+1)
+		case 3: // call with a flag-bearing string literal (WPF target)
+			fmt.Fprintf(sb, "\texecuteTool(state, \"%s\", \"--%s-%s\")\n",
+				verbs[rng.Intn(len(verbs))], services[rng.Intn(len(services))], verbs[rng.Intn(len(verbs))])
+		case 4: // loop with body
+			fmt.Fprintf(sb, "\tfor i := 0; i < count; i++ {\n\t\tstep(state, i)\n\t}\n")
+		case 5: // string assignment (WVAV target)
+			fmt.Fprintf(sb, "\tlabel%d := \"%s-%s\"\n\tuse(label%d)\n", s,
+				services[rng.Intn(len(services))], verbs[rng.Intn(len(verbs))], s)
+		}
+	}
+	sb.WriteString("\tfinish(state)\n")
+	sb.WriteString("\treturn state\n")
+	sb.WriteString("}\n")
+}
+
+func callName(rng *rand.Rand) string {
+	return services[rng.Intn(len(services))] + "_" + verbs[rng.Intn(len(verbs))]
+}
+
+// Patterns generates n distinct DSL bug specifications targeting the
+// synthetic corpus: the paper's "120 different DSL patterns" scenario uses
+// n=120. Each pattern is specialised to one (service, verb) pair or one
+// literal shape, like a user tailoring a faultload to subsystems, so each
+// pattern matches a sparse subset of the corpus (densities comparable to
+// the paper's 17,488 locations in ~400K lines).
+func Patterns(n int) []faultmodel.Spec {
+	shapes := []func(name, svc, verb string, k int) faultmodel.Spec{
+		func(name, svc, verb string, k int) faultmodel.Spec {
+			return faultmodel.Spec{Name: name, Type: "MFC", DSL: `
+change {
+	$BLOCK{tag=b1; stmts=1,*}
+	$CALL{name=` + svc + `_` + verb + `}(...)
+	$BLOCK{tag=b2; stmts=1,*}
+} into {
+	$BLOCK{tag=b1}
+	$BLOCK{tag=b2}
+}`}
+		},
+		func(name, svc, verb string, k int) faultmodel.Spec {
+			return faultmodel.Spec{Name: name, Type: "ThrowException", DSL: `
+change {
+	$VAR#v := $CALL#c{name=` + svc + `_` + verb + `}(...)
+} into {
+	$PANIC{type=ServiceError; msg=injected ` + svc + ` failure}
+}`}
+		},
+		func(name, svc, verb string, k int) faultmodel.Spec {
+			return faultmodel.Spec{Name: name, Type: "WPF", DSL: `
+change {
+	$CALL#c{name=executeTool}(..., $STRING#s{val=--` + svc + `-` + verb + `}, ...)
+} into {
+	$CALL#c(..., $CORRUPT($STRING#s), ...)
+}`}
+		},
+		func(name, svc, verb string, k int) faultmodel.Spec {
+			combo := k / 6 // distinct per MIFS instance
+			return faultmodel.Spec{Name: name, Type: "MIFS", DSL: fmt.Sprintf(`
+change {
+	if $EXPR{var=node} {
+		%s(node)
+		count = count + $INT#n{val=%d}
+	}
+} into {
+}`, auditors[combo%len(auditors)], (combo/len(auditors))%9+1)}
+		},
+		func(name, svc, verb string, k int) faultmodel.Spec {
+			return faultmodel.Spec{Name: name, Type: "WVAV", DSL: `
+change {
+	$VAR#x := $STRING#v{val=` + svc + `-` + verb + `}
+} into {
+	$VAR#x := $CORRUPT($STRING#v)
+}`}
+		},
+		func(name, svc, verb string, k int) faultmodel.Spec {
+			return faultmodel.Spec{Name: name, Type: "NilReturn", DSL: `
+change {
+	$VAR#v := $CALL#c{name=` + svc + `_` + verb + `}(...)
+	use($VAR#u)
+} into {
+	$VAR#v := $NIL
+	use($VAR#u)
+}`}
+		},
+	}
+	specs := make([]faultmodel.Spec, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk (shape, svc, verb) combinations without repeating.
+		shape := shapes[i%len(shapes)]
+		combo := i / len(shapes)
+		svc := services[combo%len(services)]
+		verb := verbs[(combo/len(services)+i)%len(verbs)]
+		specs = append(specs, shape(fmt.Sprintf("gen-%03d-%s-%s", i, svc, verb), svc, verb, i))
+	}
+	return specs
+}

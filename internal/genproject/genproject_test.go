@@ -1,0 +1,72 @@
+package genproject
+
+import (
+	"testing"
+
+	"profipy/internal/faultmodel"
+	"profipy/internal/scanner"
+)
+
+func TestGenerateIsDeterministicAndParseable(t *testing.T) {
+	cfg := DefaultConfig(2000, 42)
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("file counts differ: %d vs %d", len(a), len(b))
+	}
+	for name, data := range a {
+		if string(b[name]) != string(data) {
+			t.Fatalf("file %s differs between runs", name)
+		}
+	}
+	// Every generated file must be valid target syntax.
+	for name, data := range a {
+		if _, err := scanner.ScanSource(name, data, nil); err != nil {
+			t.Fatalf("generated file %s does not parse: %v", name, err)
+		}
+	}
+}
+
+func TestGenerateApproximatesRequestedSize(t *testing.T) {
+	for _, want := range []int{1000, 10000} {
+		files := Generate(DefaultConfig(want, 1))
+		got := Lines(files)
+		if got < want/2 || got > want*2 {
+			t.Errorf("Lines = %d, want within 2x of %d", got, want)
+		}
+	}
+}
+
+func TestPatternsCompileAndCount(t *testing.T) {
+	specs := Patterns(120)
+	if len(specs) != 120 {
+		t.Fatalf("patterns = %d, want 120", len(specs))
+	}
+	if _, err := faultmodel.CompileAll(specs); err != nil {
+		t.Fatalf("patterns do not compile: %v", err)
+	}
+}
+
+func TestScanFindsInjectableLocationsAtScale(t *testing.T) {
+	files := Generate(DefaultConfig(5000, 7))
+	specs := Patterns(24)
+	models, err := faultmodel.CompileAll(specs)
+	if err != nil {
+		t.Fatalf("CompileAll: %v", err)
+	}
+	points, err := scanner.ScanProject(files, models)
+	if err != nil {
+		t.Fatalf("ScanProject: %v", err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no injectable locations found in synthetic corpus")
+	}
+	// Density check: the paper found 17,488 locations in ~400K lines
+	// with 120 patterns (~0.044 per line); with a fifth of the patterns
+	// we still expect a non-trivial density.
+	lines := Lines(files)
+	density := float64(len(points)) / float64(lines)
+	if density < 0.001 {
+		t.Errorf("injection density = %f per line, suspiciously low", density)
+	}
+}

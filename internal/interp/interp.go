@@ -1,0 +1,366 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"strings"
+)
+
+// Sentinel errors for abnormal terminations of interpreted code.
+var (
+	// ErrTimeout is returned when the virtual deadline is exceeded
+	// (the analog of a hung experiment killed by the workload timeout).
+	ErrTimeout = errors.New("interp: virtual deadline exceeded")
+	// ErrSteps is returned when the hard step budget is exhausted
+	// (a backstop against real non-termination of interpreted code).
+	ErrSteps = errors.New("interp: step budget exhausted")
+)
+
+// PanicError is an uncaught exception escaping interpreted code — the
+// analog of an unhandled Python exception crashing the client process.
+type PanicError struct {
+	Val   Value
+	Stack []string
+}
+
+func (e *PanicError) Error() string {
+	return "uncaught exception: " + Repr(e.Val) + " (in " + strings.Join(e.Stack, " < ") + ")"
+}
+
+// Exception returns the panic value as an *Exc when it is one.
+func (e *PanicError) Exception() (*Exc, bool) {
+	x, ok := e.Val.(*Exc)
+	return x, ok
+}
+
+// Config parameterises an interpreter instance.
+type Config struct {
+	// StepNS is the virtual nanoseconds charged per interpreter step.
+	StepNS int64
+	// DeadlineNS aborts execution with ErrTimeout once the virtual clock
+	// passes it; 0 means no deadline.
+	DeadlineNS int64
+	// MaxSteps is the hard step budget; 0 selects a large default.
+	MaxSteps int64
+	// Stdout receives print/println output; nil discards it.
+	Stdout io.Writer
+}
+
+// Interp executes a loaded minigo program.
+type Interp struct {
+	fset    *token.FileSet
+	globals *Scope
+	methods map[string]map[string]*ast.FuncDecl
+	modules map[string]*Module
+
+	clockNS    int64
+	stepNS     int64
+	deadlineNS int64
+	steps      int64
+	maxSteps   int64
+
+	stdout io.Writer
+	frames []*frame
+}
+
+type frame struct {
+	name      string
+	defers    []deferredCall
+	panicking *PanicError
+}
+
+type deferredCall struct {
+	fn   Value
+	args []Value
+}
+
+// New creates an interpreter with the given configuration.
+func New(cfg Config) *Interp {
+	if cfg.StepNS <= 0 {
+		cfg.StepNS = 1000 // 1µs of virtual time per step
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 50_000_000
+	}
+	out := cfg.Stdout
+	if out == nil {
+		out = io.Discard
+	}
+	it := &Interp{
+		fset:       token.NewFileSet(),
+		globals:    NewScope(nil),
+		methods:    make(map[string]map[string]*ast.FuncDecl),
+		modules:    make(map[string]*Module),
+		stepNS:     cfg.StepNS,
+		deadlineNS: cfg.DeadlineNS,
+		maxSteps:   cfg.MaxSteps,
+		stdout:     out,
+	}
+	registerBuiltins(it)
+	return it
+}
+
+// RegisterModule makes a host module importable by target sources.
+func (it *Interp) RegisterModule(m *Module) { it.modules[m.Name] = m }
+
+// RegisterGlobal binds a name in the global scope (used for fault hooks
+// such as __fault_enabled and __corrupt).
+func (it *Interp) RegisterGlobal(name string, v Value) { it.globals.Define(name, v) }
+
+// RegisterHostFunc binds a global host function.
+func (it *Interp) RegisterHostFunc(name string, fn func(it *Interp, args []Value) (Value, error)) {
+	it.globals.Define(name, &HostFunc{Name: name, Fn: fn})
+}
+
+// Clock returns the current virtual time in nanoseconds.
+func (it *Interp) Clock() int64 { return it.clockNS }
+
+// Steps returns the number of interpreter steps executed so far.
+func (it *Interp) Steps() int64 { return it.steps }
+
+// AdvanceClock adds virtual time; host functions emulating slow
+// operations (sleeps, CPU hogs, network latency) call this.
+func (it *Interp) AdvanceClock(ns int64) { it.clockNS += ns }
+
+// SetDeadline replaces the virtual deadline (absolute nanoseconds).
+func (it *Interp) SetDeadline(ns int64) { it.deadlineNS = ns }
+
+// step charges one interpreter step and enforces deadline and budget.
+func (it *Interp) step() error {
+	it.steps++
+	it.clockNS += it.stepNS
+	if it.deadlineNS > 0 && it.clockNS > it.deadlineNS {
+		return ErrTimeout
+	}
+	if it.steps > it.maxSteps {
+		return ErrSteps
+	}
+	return nil
+}
+
+// LoadSource parses and loads one target source file: top-level functions,
+// methods, constants and vars become available for execution. Imports are
+// resolved against registered host modules.
+func (it *Interp) LoadSource(filename string, src []byte) error {
+	f, err := parser.ParseFile(it.fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return fmt.Errorf("interp: parse %s: %w", filename, err)
+	}
+	// Resolve imports first so top-level vars can use modules.
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		mod, ok := it.modules[path]
+		if !ok {
+			return fmt.Errorf("interp: %s imports unknown module %q", filename, path)
+		}
+		name := mod.Name
+		if i := strings.LastIndex(name, "/"); i >= 0 {
+			name = name[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		it.globals.Define(name, mod)
+	}
+	// Declarations.
+	for _, d := range f.Decls {
+		switch decl := d.(type) {
+		case *ast.FuncDecl:
+			if decl.Recv != nil && len(decl.Recv.List) > 0 {
+				typeName, recvName := recvInfo(decl)
+				if typeName == "" {
+					return fmt.Errorf("interp: %s: unsupported receiver on %s", filename, decl.Name.Name)
+				}
+				if it.methods[typeName] == nil {
+					it.methods[typeName] = make(map[string]*ast.FuncDecl)
+				}
+				it.methods[typeName][decl.Name.Name] = decl
+				_ = recvName
+				continue
+			}
+			it.globals.Define(decl.Name.Name, &Closure{
+				Name:   decl.Name.Name,
+				Params: paramNames(decl.Type),
+				Body:   decl.Body,
+				Env:    it.globals,
+			})
+		case *ast.GenDecl:
+			if decl.Tok == token.VAR || decl.Tok == token.CONST {
+				for _, spec := range decl.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						var v Value
+						if i < len(vs.Values) {
+							var err error
+							v, err = it.evalExpr(vs.Values[i], it.globals)
+							if err != nil {
+								return fmt.Errorf("interp: %s: init %s: %w", filename, name.Name, err)
+							}
+						}
+						it.globals.Define(name.Name, v)
+					}
+				}
+			}
+			// Type declarations carry no runtime information in minigo;
+			// struct literals create dynamic Objects by name.
+		}
+	}
+	return nil
+}
+
+func recvInfo(decl *ast.FuncDecl) (typeName, recvName string) {
+	recv := decl.Recv.List[0]
+	t := recv.Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(recv.Names) > 0 {
+		recvName = recv.Names[0].Name
+	}
+	return id.Name, recvName
+}
+
+func paramNames(ft *ast.FuncType) []string {
+	var names []string
+	if ft.Params == nil {
+		return names
+	}
+	for _, f := range ft.Params.List {
+		if len(f.Names) == 0 {
+			names = append(names, "_")
+			continue
+		}
+		for _, n := range f.Names {
+			names = append(names, n.Name)
+		}
+	}
+	return names
+}
+
+// Global returns the value bound to a global name.
+func (it *Interp) Global(name string) (Value, bool) { return it.globals.Lookup(name) }
+
+// Call invokes a loaded function by name with the given arguments.
+func (it *Interp) Call(name string, args ...Value) (Value, error) {
+	fn, ok := it.globals.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("interp: undefined function %q", name)
+	}
+	return it.call(fn, args)
+}
+
+// call dispatches a call on a callable value.
+func (it *Interp) call(fn Value, args []Value) (Value, error) {
+	if err := it.step(); err != nil {
+		return nil, err
+	}
+	switch f := fn.(type) {
+	case *HostFunc:
+		return f.Fn(it, args)
+	case *Closure:
+		return it.callClosure(f, args)
+	case nil:
+		return nil, it.throw("AttributeError", "nil object is not callable")
+	default:
+		return nil, it.throw("TypeError", TypeName(fn)+" object is not callable")
+	}
+}
+
+// callClosure executes a user function with defer/recover semantics.
+func (it *Interp) callClosure(f *Closure, args []Value) (result Value, err error) {
+	if len(it.frames) > 200 {
+		return nil, it.throw("RecursionError", "maximum call depth exceeded in "+f.Name)
+	}
+	fr := &frame{name: f.Name}
+	it.frames = append(it.frames, fr)
+	defer func() { it.frames = it.frames[:len(it.frames)-1] }()
+
+	scope := NewScope(f.Env)
+	scope.funcRoot = true
+	if f.RecvN != "" {
+		scope.Define(f.RecvN, f.Recv)
+	}
+	for i, p := range f.Params {
+		var v Value
+		if i < len(args) {
+			v = args[i]
+		}
+		scope.Define(p, v)
+	}
+	// Extra args beyond declared params are dropped (emulating the
+	// paper's "omitted parameters use defaults" semantics in reverse).
+
+	ctl, ret, err := it.execBlock(f.Body.List, scope)
+	if ctl == ctlReturn {
+		result = ret
+	}
+	// Run defers (LIFO); a deferred recover() may squash a panic.
+	err = it.runDefers(fr, err)
+	return result, err
+}
+
+// runDefers executes the frame's deferred calls; if execution was
+// panicking and a deferred call recovers, the error is cleared.
+func (it *Interp) runDefers(fr *frame, callErr error) error {
+	if len(fr.defers) == 0 {
+		return callErr
+	}
+	var pe *PanicError
+	if errors.As(callErr, &pe) {
+		fr.panicking = pe
+	} else if callErr != nil {
+		// Timeouts and budget exhaustion are not recoverable.
+		return callErr
+	}
+	for i := len(fr.defers) - 1; i >= 0; i-- {
+		d := fr.defers[i]
+		if _, derr := it.call(d.fn, d.args); derr != nil {
+			// A panic raised inside a defer replaces the current one.
+			var dpe *PanicError
+			if errors.As(derr, &dpe) {
+				fr.panicking = dpe
+			} else {
+				return derr
+			}
+		}
+	}
+	if fr.panicking != nil {
+		return fr.panicking
+	}
+	return nil
+}
+
+// throw raises an exception from host code.
+func (it *Interp) throw(excType, msg string) error {
+	return &PanicError{Val: &Exc{Type: excType, Msg: msg}, Stack: it.stackNames()}
+}
+
+func (it *Interp) stackNames() []string {
+	names := make([]string, 0, len(it.frames))
+	for i := len(it.frames) - 1; i >= 0; i-- {
+		names = append(names, it.frames[i].name)
+	}
+	if len(names) == 0 {
+		names = append(names, "<toplevel>")
+	}
+	return names
+}
+
+// currentFrame returns the innermost frame, or nil at top level.
+func (it *Interp) currentFrame() *frame {
+	if len(it.frames) == 0 {
+		return nil
+	}
+	return it.frames[len(it.frames)-1]
+}

@@ -1,0 +1,344 @@
+// Package interp implements the execution substrate that plays the role
+// of the Python runtime in the original ProFIPy: a small AST interpreter
+// for a dynamically-typed, Go-syntax target language ("minigo").
+//
+// Mutated target sources are parsed with go/parser and executed directly.
+// The interpreter provides Python-analog dynamic semantics — panics as
+// exceptions with defer/recover handlers, nil-attribute errors, type
+// errors at run time — plus a virtual clock and step budget so injected
+// hangs and CPU hogs are deterministic and fast to simulate.
+package interp
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a runtime value: nil, bool, int64, float64, string, *List,
+// *Map, *Object, *Closure, *HostFunc, *Tuple or *Exc.
+type Value any
+
+// List is a mutable sequence (the analog of a Python list / Go slice).
+type List struct {
+	Elems []Value
+}
+
+// NewList builds a list from elements.
+func NewList(elems ...Value) *List { return &List{Elems: elems} }
+
+// Map is a mutable mapping with deterministic (insertion) iteration order.
+// Keys must be hashable scalars: string, int64, float64 or bool.
+type Map struct {
+	m    map[Value]Value
+	keys []Value
+}
+
+// NewMap returns an empty map.
+func NewMap() *Map { return &Map{m: make(map[Value]Value)} }
+
+// Get returns the value for key and whether it was present.
+func (m *Map) Get(k Value) (Value, bool) {
+	v, ok := m.m[k]
+	return v, ok
+}
+
+// Set inserts or updates a key.
+func (m *Map) Set(k, v Value) {
+	if _, ok := m.m[k]; !ok {
+		m.keys = append(m.keys, k)
+	}
+	m.m[k] = v
+}
+
+// Delete removes a key if present.
+func (m *Map) Delete(k Value) {
+	if _, ok := m.m[k]; !ok {
+		return
+	}
+	delete(m.m, k)
+	for i, kk := range m.keys {
+		if kk == k {
+			m.keys = append(m.keys[:i], m.keys[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len returns the number of entries.
+func (m *Map) Len() int { return len(m.keys) }
+
+// Keys returns the keys in insertion order (a copy).
+func (m *Map) Keys() []Value { return append([]Value(nil), m.keys...) }
+
+// Object is a dynamic record with a type name; structs of the target
+// language become Objects, and methods dispatch on TypeName.
+type Object struct {
+	TypeName string
+	Fields   map[string]Value
+}
+
+// NewObject creates an object of the given dynamic type.
+func NewObject(typeName string) *Object {
+	return &Object{TypeName: typeName, Fields: make(map[string]Value)}
+}
+
+// Closure is a user-defined function or method bound to its environment.
+type Closure struct {
+	Name   string
+	Params []string
+	Body   *ast.BlockStmt
+	Env    *Scope
+	Recv   Value  // bound receiver for methods, nil otherwise
+	RecvN  string // receiver parameter name
+}
+
+// HostFunc is a function implemented by the embedding environment
+// (standard modules, fault hooks, the kvstore transport, ...).
+type HostFunc struct {
+	Name string
+	Fn   func(it *Interp, args []Value) (Value, error)
+}
+
+// Module is a named collection of host functions and constants, resolved
+// from import declarations in target sources.
+type Module struct {
+	Name   string
+	Member map[string]Value
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, Member: make(map[string]Value)}
+}
+
+// Func registers a host function on the module.
+func (m *Module) Func(name string, fn func(it *Interp, args []Value) (Value, error)) *Module {
+	m.Member[name] = &HostFunc{Name: m.Name + "." + name, Fn: fn}
+	return m
+}
+
+// Tuple carries multiple return values between calls and assignments.
+type Tuple struct {
+	Elems []Value
+}
+
+// Exc is an exception value (the analog of a Python exception instance).
+type Exc struct {
+	Type string
+	Msg  string
+}
+
+func (e *Exc) String() string { return e.Type + ": " + e.Msg }
+
+// Truthy reports Python-style truthiness of a value.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	case *List:
+		return len(x.Elems) > 0
+	case *Map:
+		return x.Len() > 0
+	default:
+		return true
+	}
+}
+
+// Equal reports deep equality between two values.
+func Equal(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case bool, string:
+		return a == b
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return x == y
+		case float64:
+			return float64(x) == y
+		}
+		return false
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return x == float64(y)
+		case float64:
+			return x == y
+		}
+		return false
+	case *List:
+		y, ok := b.(*List)
+		if !ok || len(x.Elems) != len(y.Elems) {
+			return false
+		}
+		for i := range x.Elems {
+			if !Equal(x.Elems[i], y.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case *Map:
+		y, ok := b.(*Map)
+		if !ok || x.Len() != y.Len() {
+			return false
+		}
+		for _, k := range x.keys {
+			yv, ok := y.Get(k)
+			if !ok || !Equal(x.m[k], yv) {
+				return false
+			}
+		}
+		return true
+	case *Exc:
+		y, ok := b.(*Exc)
+		return ok && x.Type == y.Type && x.Msg == y.Msg
+	default:
+		return a == b
+	}
+}
+
+// Repr renders a value for logs and workload output, deterministically.
+func Repr(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return strconv.FormatBool(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case *List:
+		parts := make([]string, len(x.Elems))
+		for i, e := range x.Elems {
+			parts[i] = Repr(e)
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	case *Map:
+		parts := make([]string, 0, x.Len())
+		for _, k := range x.keys {
+			parts = append(parts, Repr(k)+":"+Repr(x.m[k]))
+		}
+		sort.Strings(parts)
+		return "map[" + strings.Join(parts, " ") + "]"
+	case *Object:
+		return "<" + x.TypeName + ">"
+	case *Closure:
+		return "<func " + x.Name + ">"
+	case *HostFunc:
+		return "<hostfunc " + x.Name + ">"
+	case *Module:
+		return "<module " + x.Name + ">"
+	case *Tuple:
+		parts := make([]string, len(x.Elems))
+		for i, e := range x.Elems {
+			parts[i] = Repr(e)
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case *Exc:
+		return x.String()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// TypeName returns the dynamic type name of a value, used in TypeError
+// messages.
+func TypeName(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return "bool"
+	case int64:
+		return "int"
+	case float64:
+		return "float"
+	case string:
+		return "string"
+	case *List:
+		return "list"
+	case *Map:
+		return "map"
+	case *Object:
+		return x.TypeName
+	case *Closure, *HostFunc:
+		return "func"
+	case *Tuple:
+		return "tuple"
+	case *Exc:
+		return "exception"
+	case *Module:
+		return "module"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// Scope is a lexical scope chain for variables. Function-body scopes are
+// marked as funcRoot: plain assignment to an undeclared name defines it at
+// the function root (Python-style), which is what makes the paper's
+// "UnboundLocalError: local variable referenced before assignment" failure
+// mode reproducible (§V-C).
+type Scope struct {
+	vars     map[string]Value
+	parent   *Scope
+	funcRoot bool
+}
+
+// NewScope returns a scope with the given parent (nil for globals).
+func NewScope(parent *Scope) *Scope {
+	return &Scope{vars: make(map[string]Value), parent: parent}
+}
+
+// Lookup finds a variable, walking the parent chain.
+func (s *Scope) Lookup(name string) (Value, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Define binds a name in this scope.
+func (s *Scope) Define(name string, v Value) { s.vars[name] = v }
+
+// DefineAtFuncRoot binds a name at the nearest enclosing function-root
+// scope (or locally when there is none).
+func (s *Scope) DefineAtFuncRoot(name string, v Value) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sc.funcRoot {
+			sc.vars[name] = v
+			return
+		}
+	}
+	s.vars[name] = v
+}
+
+// Assign updates an existing binding, searching the parent chain; it
+// reports whether the name was found.
+func (s *Scope) Assign(name string, v Value) bool {
+	for sc := s; sc != nil; sc = sc.parent {
+		if _, ok := sc.vars[name]; ok {
+			sc.vars[name] = v
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package kvclient
+
+import (
+	"profipy/internal/analysis"
+	"profipy/internal/campaign"
+	"profipy/internal/faultmodel"
+	"profipy/internal/interp"
+	"profipy/internal/sandbox"
+	"profipy/internal/workload"
+)
+
+// WorkloadTimeoutNS is the per-round virtual deadline. The paper's
+// experiments took 10–120s, the worst case being a hang killed by the
+// timeout; virtual time reproduces that scale deterministically.
+const WorkloadTimeoutNS = 240_000_000_000 // 240s virtual
+
+// WorkloadConfig returns the §V workload configuration: deploy the etcd
+// server, upload and query key-value pairs of different kinds (dirs,
+// sub-keys, TTL, CAS), with consistency checks.
+func WorkloadConfig() workload.Config {
+	return workload.Config{
+		Entry:     "Workload",
+		Files:     []string{FileClient, FileLock, FileAuth, FileWorkload},
+		TimeoutNS: WorkloadTimeoutNS,
+		MaxSteps:  20_000_000,
+		Env: func(it *interp.Interp, c *sandbox.Container) {
+			InstallEnv(it, c)
+		},
+	}
+}
+
+// AnalysisConfig returns the failure classification of §V: the failure
+// modes the paper discusses, as log/exception patterns, plus the
+// component map for the propagation metric.
+func AnalysisConfig() analysis.Config {
+	return analysis.Config{
+		ErrorPattern: "ERROR",
+		Classes: []analysis.FailureClass{
+			{Name: "reconnection-failure", Pattern: "address already in use"},
+			{Name: "member-bootstrapped", Pattern: "already been bootstrapped"},
+			{Name: "bad-request-400", Pattern: "400 Bad Request"},
+			{Name: "key-not-found", Pattern: "EtcdKeyNotFound|Key not found"},
+			{Name: "nil-attribute-error", Pattern: "AttributeError"},
+			{Name: "unbound-local", Pattern: "UnboundLocalError"},
+			{Name: "stale-read", Pattern: "stale read"},
+			{Name: "value-mismatch", Pattern: "mismatch|not swapped|not updated"},
+			{Name: "hang-timeout", Pattern: "workload timeout"},
+		},
+		Components: map[string][]string{
+			"client":   {FileClient},
+			"lock":     {FileLock},
+			"auth":     {FileAuth},
+			"workload": {FileWorkload},
+			"server":   nil, // server logs come from the kvstore substrate
+		},
+	}
+}
+
+// Image returns the container image profile for Python-etcd experiments.
+func Image() sandbox.Image {
+	return sandbox.Image{Name: "python-etcd", MemMB: 256, IOMBps: 10}
+}
+
+// newCampaign assembles the shared configuration of the three campaigns.
+func newCampaign(name string, rt *sandbox.Runtime, scan []string,
+	faultload []faultmodel.Spec, seed int64) *campaign.Campaign {
+	return &campaign.Campaign{
+		Name:      name,
+		Files:     Sources(),
+		ScanFiles: scan,
+		Faultload: faultload,
+		Workload:  WorkloadConfig(),
+		Runtime:   rt,
+		Image:     Image(),
+		Seed:      seed,
+		Analysis:  AnalysisConfig(),
+	}
+}
+
+// CampaignA builds the §V-A campaign: errors from external APIs, injected
+// into the client library modules.
+func CampaignA(rt *sandbox.Runtime, seed int64) *campaign.Campaign {
+	return newCampaign("campaign-A: errors from external APIs", rt,
+		[]string{FileClient, FileLock, FileAuth}, CampaignAFaultload(), seed)
+}
+
+// CampaignB builds the §V-B campaign: wrong inputs to the client API,
+// injected at the workload's call sites.
+func CampaignB(rt *sandbox.Runtime, seed int64) *campaign.Campaign {
+	return newCampaign("campaign-B: wrong inputs", rt,
+		[]string{FileWorkload}, CampaignBFaultload(), seed)
+}
+
+// CampaignC builds the §V-C campaign: resource management bugs (CPU hogs
+// after client API calls).
+func CampaignC(rt *sandbox.Runtime, seed int64) *campaign.Campaign {
+	return newCampaign("campaign-C: resource management bugs", rt,
+		[]string{FileWorkload}, CampaignCFaultload(), seed)
+}

@@ -1,0 +1,195 @@
+package kvclient
+
+import "profipy/internal/faultmodel"
+
+// CampaignAFaultload returns the faultload of §V-A (Table I, row 1):
+// failures when calling external library APIs (the urllib and osio
+// modules): thrown exceptions, omitted calls, omitted parameters.
+func CampaignAFaultload() []faultmodel.Spec {
+	return []faultmodel.Spec{
+		{
+			Name: "ext-throw-exception",
+			Type: "ThrowException",
+			Doc:  "Raise an exception at a call to an external library API",
+			DSL: `
+change {
+	$VAR#v := $CALL#c{name=urllib.*,osio.*}(...)
+} into {
+	$PANIC{type=ConnectTimeoutError; msg=injected exception at external API call}
+}`,
+		},
+		{
+			Name: "ext-missing-call",
+			Type: "MissingFunctionCall",
+			Doc:  "Omit a fire-and-forget call to an external library API",
+			DSL: `
+change {
+	$CALL{name=urllib.*,osio.*}(...)
+} into {
+}`,
+		},
+		{
+			Name: "ext-missing-params",
+			Type: "MissingParameters",
+			Doc:  "Invoke an external API with trailing parameters omitted (defaults used instead)",
+			DSL: `
+change {
+	$VAR#v := $CALL#c{name=urllib.Request}($EXPR#m, $EXPR#u, $EXPR#p)
+} into {
+	$VAR#v := $CALL#c($EXPR#m, $EXPR#u)
+}`,
+		},
+	}
+}
+
+// kvWriteNames are the client API methods taking (key, value, ...) input.
+const kvWriteNames = "*.Set,*.SetWithTTL,*.TestAndSet,*.Update"
+
+// kvKeyOnlyNames are the client API methods taking only a key.
+const kvKeyOnlyNames = "*.Get,*.Delete,*.Ls"
+
+// kvDirNames are the directory-oriented client API methods.
+const kvDirNames = "*.Mkdir,*.Rmdir"
+
+// kvAllNames covers every data-path client API method plus Health.
+const kvAllNames = kvWriteNames + "," + kvKeyOnlyNames + "," + kvDirNames + ",*.Refresh,*.Health"
+
+// CampaignBFaultload returns the faultload of §V-B (Table I, row 2):
+// wrong inputs to the client API — string corruptions, nil values,
+// negative integers. Each fault type has a statement-position variant
+// (bare calls) and an assignment-position variant (result captured).
+func CampaignBFaultload() []faultmodel.Spec {
+	specs := []faultmodel.Spec{
+		{
+			Name: "input-corrupt-key/s", Type: "CorruptKey",
+			Doc: "Corrupt the key argument of a client API call (bare call)",
+			DSL: `
+change {
+	$CALL#c{name=` + kvWriteNames + "," + kvDirNames + `}($STRING#k, ...)
+} into {
+	$CALL#c($CORRUPT($STRING#k), ...)
+}`,
+		},
+		{
+			Name: "input-corrupt-key/a", Type: "CorruptKey",
+			Doc: "Corrupt the key argument of a client API call (assigned result)",
+			DSL: `
+change {
+	$VAR#r := $CALL#c{name=` + kvWriteNames + "," + kvDirNames + `}($STRING#k, ...)
+} into {
+	$VAR#r := $CALL#c($CORRUPT($STRING#k), ...)
+}`,
+		},
+		{
+			Name: "input-nil-value/s", Type: "NilValue",
+			Doc: "Replace the value argument with nil (bare call)",
+			DSL: `
+change {
+	$CALL#c{name=` + kvWriteNames + `}($STRING#k, $STRING#v, ...)
+} into {
+	$CALL#c($STRING#k, $NIL#v, ...)
+}`,
+		},
+		{
+			Name: "input-nil-value/a", Type: "NilValue",
+			Doc: "Replace the value argument with nil (assigned result)",
+			DSL: `
+change {
+	$VAR#r := $CALL#c{name=` + kvWriteNames + `}($STRING#k, $STRING#v, ...)
+} into {
+	$VAR#r := $CALL#c($STRING#k, $NIL#v, ...)
+}`,
+		},
+		{
+			Name: "input-corrupt-value/s", Type: "CorruptValue",
+			Doc: "Corrupt the value argument of a client API call (bare call)",
+			DSL: `
+change {
+	$CALL#c{name=` + kvWriteNames + `}($STRING#k, $STRING#v, ...)
+} into {
+	$CALL#c($STRING#k, $CORRUPT($STRING#v), ...)
+}`,
+		},
+		{
+			Name: "input-corrupt-value/a", Type: "CorruptValue",
+			Doc: "Corrupt the value argument of a client API call (assigned result)",
+			DSL: `
+change {
+	$VAR#r := $CALL#c{name=` + kvWriteNames + `}($STRING#k, $STRING#v, ...)
+} into {
+	$VAR#r := $CALL#c($STRING#k, $CORRUPT($STRING#v), ...)
+}`,
+		},
+		{
+			Name: "input-nil-key/s", Type: "NilKey",
+			Doc: "Replace the key argument with nil (bare call)",
+			DSL: `
+change {
+	$CALL#c{name=` + kvKeyOnlyNames + `}($STRING#k, ...)
+} into {
+	$CALL#c($NIL#k, ...)
+}`,
+		},
+		{
+			Name: "input-nil-key/a", Type: "NilKey",
+			Doc: "Replace the key argument with nil (assigned result)",
+			DSL: `
+change {
+	$VAR#r := $CALL#c{name=` + kvKeyOnlyNames + `}($STRING#k, ...)
+} into {
+	$VAR#r := $CALL#c($NIL#k, ...)
+}`,
+		},
+		{
+			Name: "input-negative-int/s", Type: "NegativeInteger",
+			Doc: "Replace an integer argument with a negative value (bare call)",
+			DSL: `
+change {
+	$CALL#c{name=*.SetWithTTL,*.Refresh}(..., $INT#t)
+} into {
+	$CALL#c(..., $CORRUPT($INT#t))
+}`,
+		},
+		{
+			Name: "input-negative-int/a", Type: "NegativeInteger",
+			Doc: "Replace an integer argument with a negative value (assigned result)",
+			DSL: `
+change {
+	$VAR#r := $CALL#c{name=*.SetWithTTL,*.Refresh}(..., $INT#t)
+} into {
+	$VAR#r := $CALL#c(..., $CORRUPT($INT#t))
+}`,
+		},
+	}
+	return specs
+}
+
+// CampaignCFaultload returns the faultload of §V-C (Table I, row 3):
+// resource management bugs — CPU hogs injected right after client API
+// calls (stale threads generating high CPU load).
+func CampaignCFaultload() []faultmodel.Spec {
+	return []faultmodel.Spec{
+		{
+			Name: "hog-after-call/s", Type: "CPUHog",
+			Doc: "Spawn a CPU hog after a client API call (bare call)",
+			DSL: `
+change {
+	$CALL#c{name=` + kvAllNames + `}(...)
+} into {
+	$CALL#c
+	$HOG{res=cpu; amount=1}
+}`,
+		},
+		{
+			Name: "hog-after-call/a", Type: "CPUHog",
+			Doc: "Spawn a CPU hog after a client API call (assigned result)",
+			DSL: `
+change {
+	$VAR#r := $CALL#c{name=` + kvAllNames + `}(...)
+} into {
+	$VAR#r := $CALL#c
+	$HOG{res=cpu; amount=1}
+}`,
+		},
+	}
+}

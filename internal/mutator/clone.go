@@ -1,0 +1,182 @@
+package mutator
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// clonePlainExpr deep-copies a target-program expression with all
+// positions zeroed. Bound nodes are cloned before being spliced into a
+// replacement so the same subtree never appears twice in the output AST.
+func clonePlainExpr(e ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return ast.NewIdent(x.Name)
+	case *ast.BasicLit:
+		return &ast.BasicLit{Kind: x.Kind, Value: x.Value}
+	case *ast.SelectorExpr:
+		return &ast.SelectorExpr{X: clonePlainExpr(x.X), Sel: ast.NewIdent(x.Sel.Name)}
+	case *ast.CallExpr:
+		return &ast.CallExpr{Fun: clonePlainExpr(x.Fun), Args: clonePlainExprs(x.Args)}
+	case *ast.BinaryExpr:
+		return &ast.BinaryExpr{X: clonePlainExpr(x.X), Op: x.Op, Y: clonePlainExpr(x.Y)}
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{Op: x.Op, X: clonePlainExpr(x.X)}
+	case *ast.ParenExpr:
+		return &ast.ParenExpr{X: clonePlainExpr(x.X)}
+	case *ast.IndexExpr:
+		return &ast.IndexExpr{X: clonePlainExpr(x.X), Index: clonePlainExpr(x.Index)}
+	case *ast.SliceExpr:
+		return &ast.SliceExpr{
+			X: clonePlainExpr(x.X), Low: clonePlainExpr(x.Low),
+			High: clonePlainExpr(x.High), Max: clonePlainExpr(x.Max), Slice3: x.Slice3,
+		}
+	case *ast.StarExpr:
+		return &ast.StarExpr{X: clonePlainExpr(x.X)}
+	case *ast.KeyValueExpr:
+		return &ast.KeyValueExpr{Key: clonePlainExpr(x.Key), Value: clonePlainExpr(x.Value)}
+	case *ast.CompositeLit:
+		return &ast.CompositeLit{Type: clonePlainExpr(x.Type), Elts: clonePlainExprs(x.Elts)}
+	case *ast.FuncLit:
+		return &ast.FuncLit{Type: cloneFuncType(x.Type), Body: clonePlainBlock(x.Body)}
+	case *ast.ArrayType:
+		return &ast.ArrayType{Len: clonePlainExpr(x.Len), Elt: clonePlainExpr(x.Elt)}
+	case *ast.MapType:
+		return &ast.MapType{Key: clonePlainExpr(x.Key), Value: clonePlainExpr(x.Value)}
+	case *ast.InterfaceType:
+		return &ast.InterfaceType{Methods: &ast.FieldList{}}
+	case *ast.Ellipsis:
+		return &ast.Ellipsis{Elt: clonePlainExpr(x.Elt)}
+	case *ast.TypeAssertExpr:
+		return &ast.TypeAssertExpr{X: clonePlainExpr(x.X), Type: clonePlainExpr(x.Type)}
+	default:
+		// Unknown node kinds are returned as-is; they will print with
+		// their original positions, which is harmless for single use.
+		return e
+	}
+}
+
+func clonePlainExprs(es []ast.Expr) []ast.Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]ast.Expr, len(es))
+	for i, e := range es {
+		out[i] = clonePlainExpr(e)
+	}
+	return out
+}
+
+func cloneFuncType(ft *ast.FuncType) *ast.FuncType {
+	if ft == nil {
+		return nil
+	}
+	return &ast.FuncType{Params: cloneFieldList(ft.Params), Results: cloneFieldList(ft.Results)}
+}
+
+func cloneFieldList(fl *ast.FieldList) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		nf := &ast.Field{Type: clonePlainExpr(f.Type)}
+		for _, n := range f.Names {
+			nf.Names = append(nf.Names, ast.NewIdent(n.Name))
+		}
+		out.List = append(out.List, nf)
+	}
+	return out
+}
+
+func clonePlainBlock(b *ast.BlockStmt) *ast.BlockStmt {
+	if b == nil {
+		return nil
+	}
+	return &ast.BlockStmt{List: clonePlainStmts(b.List)}
+}
+
+func clonePlainStmts(list []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, len(list))
+	for i, s := range list {
+		out[i] = clonePlainStmt(s)
+	}
+	return out
+}
+
+// clonePlainStmt deep-copies a target-program statement.
+func clonePlainStmt(s ast.Stmt) ast.Stmt {
+	if s == nil {
+		return nil
+	}
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		return &ast.ExprStmt{X: clonePlainExpr(x.X)}
+	case *ast.AssignStmt:
+		return &ast.AssignStmt{Lhs: clonePlainExprs(x.Lhs), Tok: x.Tok, Rhs: clonePlainExprs(x.Rhs)}
+	case *ast.ReturnStmt:
+		return &ast.ReturnStmt{Results: clonePlainExprs(x.Results)}
+	case *ast.IfStmt:
+		return &ast.IfStmt{
+			Init: clonePlainStmt(x.Init), Cond: clonePlainExpr(x.Cond),
+			Body: clonePlainBlock(x.Body), Else: clonePlainStmt(x.Else),
+		}
+	case *ast.BlockStmt:
+		return clonePlainBlock(x)
+	case *ast.ForStmt:
+		return &ast.ForStmt{
+			Init: clonePlainStmt(x.Init), Cond: clonePlainExpr(x.Cond),
+			Post: clonePlainStmt(x.Post), Body: clonePlainBlock(x.Body),
+		}
+	case *ast.RangeStmt:
+		return &ast.RangeStmt{
+			Key: clonePlainExpr(x.Key), Value: clonePlainExpr(x.Value),
+			Tok: x.Tok, X: clonePlainExpr(x.X), Body: clonePlainBlock(x.Body),
+		}
+	case *ast.BranchStmt:
+		ns := &ast.BranchStmt{Tok: x.Tok}
+		if x.Label != nil {
+			ns.Label = ast.NewIdent(x.Label.Name)
+		}
+		return ns
+	case *ast.DeferStmt:
+		call, _ := clonePlainExpr(x.Call).(*ast.CallExpr)
+		return &ast.DeferStmt{Call: call}
+	case *ast.GoStmt:
+		call, _ := clonePlainExpr(x.Call).(*ast.CallExpr)
+		return &ast.GoStmt{Call: call}
+	case *ast.IncDecStmt:
+		return &ast.IncDecStmt{X: clonePlainExpr(x.X), Tok: x.Tok}
+	case *ast.SwitchStmt:
+		body := &ast.BlockStmt{}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				body.List = append(body.List, &ast.CaseClause{
+					List: clonePlainExprs(cc.List), Body: clonePlainStmts(cc.Body),
+				})
+			}
+		}
+		return &ast.SwitchStmt{Init: clonePlainStmt(x.Init), Tag: clonePlainExpr(x.Tag), Body: body}
+	case *ast.LabeledStmt:
+		return &ast.LabeledStmt{Label: ast.NewIdent(x.Label.Name), Stmt: clonePlainStmt(x.Stmt)}
+	case *ast.EmptyStmt:
+		return &ast.EmptyStmt{}
+	case *ast.DeclStmt:
+		return x // var decls are rare inside windows; reuse is acceptable
+	default:
+		return s
+	}
+}
+
+// mustCall asserts that an expression is a call; used when expanding
+// $CALL tag references.
+func mustCall(e ast.Expr) (*ast.CallExpr, error) {
+	c, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, fmt.Errorf("mutator: bound node is not a call expression")
+	}
+	return c, nil
+}

@@ -1,0 +1,519 @@
+package mutator
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"profipy/internal/pattern"
+)
+
+// Runtime hook names inserted by replacement directives. The sandbox
+// registers these as host builtins in the interpreted target program.
+const (
+	HookTrigger = "__fault_enabled"
+	HookCorrupt = "__corrupt"
+	HookHog     = "__hog"
+	HookDelay   = "__delay"
+	HookExc     = "__exc"
+	HookCover   = "__cover"
+)
+
+// expander instantiates a meta-model's replacement template against the
+// bindings captured by a match.
+type expander struct {
+	mm *pattern.MetaModel
+	b  pattern.Bindings
+}
+
+// expandStmts expands a replacement statement list; block-directive
+// placeholders splice multiple statements.
+func (x *expander) expandStmts(list []ast.Stmt) ([]ast.Stmt, error) {
+	out := make([]ast.Stmt, 0, len(list))
+	for _, s := range list {
+		ex, err := x.expandStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ex...)
+	}
+	return out, nil
+}
+
+func (x *expander) expandStmt(s ast.Stmt) ([]ast.Stmt, error) {
+	// Bare directive in statement position.
+	if es, ok := s.(*ast.ExprStmt); ok {
+		if d := x.mm.HoleFor(es.X); d != nil {
+			return x.expandStmtDirective(d)
+		}
+	}
+	one, err := x.expandSingleStmt(s)
+	if err != nil {
+		return nil, err
+	}
+	return []ast.Stmt{one}, nil
+}
+
+func (x *expander) expandStmtDirective(d *pattern.Directive) ([]ast.Stmt, error) {
+	switch d.Kind {
+	case pattern.KindBlock, pattern.KindAny:
+		bound, ok := x.b[d.Tag]
+		if !ok {
+			return nil, fmt.Errorf("mutator: replacement $%s references unbound tag %q", d.Kind, d.Tag)
+		}
+		return clonePlainStmts(bound.Stmts), nil
+	case pattern.KindCall:
+		call, err := x.expandCallRef(d)
+		if err != nil {
+			return nil, err
+		}
+		return []ast.Stmt{&ast.ExprStmt{X: call}}, nil
+	case pattern.KindCorrupt, pattern.KindHog, pattern.KindTimeout, pattern.KindPanic, pattern.KindNil:
+		e, err := x.expandDirectiveExpr(d)
+		if err != nil {
+			return nil, err
+		}
+		return []ast.Stmt{&ast.ExprStmt{X: e}}, nil
+	default:
+		return nil, fmt.Errorf("mutator: directive $%s cannot appear in statement position of a replacement", d.Kind)
+	}
+}
+
+// expandExpr expands a replacement expression template.
+func (x *expander) expandExpr(e ast.Expr) (ast.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	if d := x.mm.HoleFor(e); d != nil {
+		return x.expandDirectiveExpr(d)
+	}
+	switch n := e.(type) {
+	case *ast.Ident:
+		return ast.NewIdent(n.Name), nil
+	case *ast.BasicLit:
+		return &ast.BasicLit{Kind: n.Kind, Value: n.Value}, nil
+	case *ast.SelectorExpr:
+		xe, err := x.expandExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.SelectorExpr{X: xe, Sel: ast.NewIdent(n.Sel.Name)}, nil
+	case *ast.CallExpr:
+		fun, err := x.expandExpr(n.Fun)
+		if err != nil {
+			return nil, err
+		}
+		args, err := x.expandExprs(n.Args)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.CallExpr{Fun: fun, Args: args}, nil
+	case *ast.BinaryExpr:
+		xe, err := x.expandExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		ye, err := x.expandExpr(n.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BinaryExpr{X: xe, Op: n.Op, Y: ye}, nil
+	case *ast.UnaryExpr:
+		xe, err := x.expandExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: n.Op, X: xe}, nil
+	case *ast.ParenExpr:
+		xe, err := x.expandExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.ParenExpr{X: xe}, nil
+	case *ast.IndexExpr:
+		xe, err := x.expandExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := x.expandExpr(n.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.IndexExpr{X: xe, Index: idx}, nil
+	case *ast.CompositeLit:
+		elts, err := x.expandExprs(n.Elts)
+		if err != nil {
+			return nil, err
+		}
+		typ, err := x.expandExpr(n.Type)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.CompositeLit{Type: typ, Elts: elts}, nil
+	case *ast.KeyValueExpr:
+		k, err := x.expandExpr(n.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := x.expandExpr(n.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.KeyValueExpr{Key: k, Value: v}, nil
+	default:
+		return clonePlainExpr(e), nil
+	}
+}
+
+func (x *expander) expandExprs(es []ast.Expr) ([]ast.Expr, error) {
+	if es == nil {
+		return nil, nil
+	}
+	out := make([]ast.Expr, len(es))
+	for i, e := range es {
+		var err error
+		out[i], err = x.expandExpr(e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (x *expander) expandDirectiveExpr(d *pattern.Directive) (ast.Expr, error) {
+	switch d.Kind {
+	case pattern.KindNil:
+		return ast.NewIdent("nil"), nil
+	case pattern.KindCorrupt:
+		args, err := x.expandDirectiveArgs(d)
+		if err != nil {
+			return nil, err
+		}
+		return hookCall(HookCorrupt, args...), nil
+	case pattern.KindHog:
+		if d.HasArgs {
+			args, err := x.expandDirectiveArgs(d)
+			if err != nil {
+				return nil, err
+			}
+			return hookCall(HookHog, args...), nil
+		}
+		res := attrOr(d, "res", "cpu")
+		amount := attrOr(d, "amount", "1")
+		return hookCall(HookHog, strLit(res), intLit(amount)), nil
+	case pattern.KindTimeout:
+		if d.HasArgs {
+			args, err := x.expandDirectiveArgs(d)
+			if err != nil {
+				return nil, err
+			}
+			return hookCall(HookDelay, args...), nil
+		}
+		return hookCall(HookDelay, intLit(attrOr(d, "ms", "1000"))), nil
+	case pattern.KindPanic:
+		if d.HasArgs {
+			args, err := x.expandDirectiveArgs(d)
+			if err != nil {
+				return nil, err
+			}
+			return hookCall("panic", hookCall(HookExc, args...)), nil
+		}
+		excType := attrOr(d, "type", "Error")
+		msg := attrOr(d, "msg", "injected fault")
+		return hookCall("panic", hookCall(HookExc, strLit(excType), strLit(msg))), nil
+	case pattern.KindCall:
+		return x.expandCallRef(d)
+	case pattern.KindExpr, pattern.KindVar, pattern.KindString, pattern.KindInt, pattern.KindAny:
+		bound, ok := x.b[d.Tag]
+		if !ok || bound.Expr == nil {
+			return nil, fmt.Errorf("mutator: replacement $%s references unbound tag %q", d.Kind, d.Tag)
+		}
+		return clonePlainExpr(bound.Expr), nil
+	default:
+		return nil, fmt.Errorf("mutator: directive $%s cannot appear in expression position of a replacement", d.Kind)
+	}
+}
+
+func (x *expander) expandDirectiveArgs(d *pattern.Directive) ([]ast.Expr, error) {
+	out := make([]ast.Expr, 0, len(d.Args))
+	for _, a := range d.Args {
+		if a.Ellipsis {
+			return nil, fmt.Errorf("mutator: '...' is not allowed in $%s replacement arguments", d.Kind)
+		}
+		e, err := x.expandExpr(a.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// expandCallRef rebuilds a call bound to a $CALL tag, applying per-argument
+// transformations written in the replacement (e.g. `$CALL#c(...,
+// $CORRUPT($STRING#s), ...)` replaces the argument bound to tag s with a
+// corruption of it, keeping all other arguments intact).
+func (x *expander) expandCallRef(d *pattern.Directive) (*ast.CallExpr, error) {
+	bound, ok := x.b[d.Tag]
+	if !ok || bound.Expr == nil {
+		return nil, fmt.Errorf("mutator: replacement $CALL references unbound tag %q", d.Tag)
+	}
+	orig, err := mustCall(bound.Expr)
+	if err != nil {
+		return nil, err
+	}
+	cloned, err := mustCall(clonePlainExpr(orig))
+	if err != nil {
+		return nil, err
+	}
+	if !d.HasArgs {
+		return cloned, nil
+	}
+	// Without an ellipsis the replacement arg list is exhaustive: the call
+	// is rebuilt with exactly those arguments (this is how "missing
+	// parameter" faults drop trailing arguments).
+	hasEllipsis := false
+	for _, a := range d.Args {
+		if a.Ellipsis {
+			hasEllipsis = true
+			break
+		}
+	}
+	if !hasEllipsis {
+		args, err := x.expandDirectiveArgs(d)
+		if err != nil {
+			return nil, err
+		}
+		cloned.Args = args
+		return cloned, nil
+	}
+	for _, a := range d.Args {
+		if a.Ellipsis {
+			continue
+		}
+		anchor := x.anchorTag(a.Expr)
+		if anchor == "" {
+			return nil, fmt.Errorf("mutator: replacement $CALL#%s argument pattern must reference a tagged directive", d.Tag)
+		}
+		boundArg, ok := x.b[anchor]
+		if !ok || boundArg.Expr == nil {
+			return nil, fmt.Errorf("mutator: replacement references unbound argument tag %q", anchor)
+		}
+		idx := -1
+		for i, arg := range orig.Args {
+			if containsNode(arg, boundArg.Expr) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("mutator: tag %q is not bound to an argument of $CALL#%s", anchor, d.Tag)
+		}
+		ne, err := x.expandExpr(a.Expr)
+		if err != nil {
+			return nil, err
+		}
+		cloned.Args[idx] = ne
+	}
+	return cloned, nil
+}
+
+// anchorTag finds the first tagged directive reachable from a replacement
+// argument pattern; its binding identifies which original argument the
+// pattern transforms.
+func (x *expander) anchorTag(e ast.Expr) string {
+	tag := ""
+	var visit func(ast.Expr)
+	visit = func(e ast.Expr) {
+		if tag != "" || e == nil {
+			return
+		}
+		if d := x.mm.HoleFor(e); d != nil {
+			if d.Tag != "" && d.Kind != pattern.KindCorrupt && d.Kind != pattern.KindHog &&
+				d.Kind != pattern.KindTimeout && d.Kind != pattern.KindPanic {
+				tag = d.Tag
+				return
+			}
+			for _, a := range d.Args {
+				if a.Expr != nil {
+					visit(a.Expr)
+				}
+			}
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if tag != "" {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if d := x.mm.Holes[id.Name]; d != nil {
+					visit(id)
+					return false
+				}
+				_ = id
+			}
+			return true
+		})
+	}
+	visit(e)
+	return tag
+}
+
+// containsNode reports whether needle appears within the subtree rooted
+// at hay (pointer identity).
+func containsNode(hay ast.Node, needle ast.Node) bool {
+	if hay == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(hay, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == needle {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (x *expander) expandSingleStmt(s ast.Stmt) (ast.Stmt, error) {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		e, err := x.expandExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.ExprStmt{X: e}, nil
+	case *ast.AssignStmt:
+		lhs, err := x.expandExprs(n.Lhs)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := x.expandExprs(n.Rhs)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignStmt{Lhs: lhs, Tok: n.Tok, Rhs: rhs}, nil
+	case *ast.ReturnStmt:
+		res, err := x.expandExprs(n.Results)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.ReturnStmt{Results: res}, nil
+	case *ast.IfStmt:
+		cond, err := x.expandExpr(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		body, err := x.expandStmts(n.Body.List)
+		if err != nil {
+			return nil, err
+		}
+		out := &ast.IfStmt{Cond: cond, Body: &ast.BlockStmt{List: body}}
+		if n.Init != nil {
+			if out.Init, err = x.expandSingleStmt(n.Init); err != nil {
+				return nil, err
+			}
+		}
+		if n.Else != nil {
+			if out.Else, err = x.expandSingleStmt(n.Else); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case *ast.BlockStmt:
+		body, err := x.expandStmts(n.List)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BlockStmt{List: body}, nil
+	case *ast.ForStmt:
+		out := &ast.ForStmt{}
+		var err error
+		if n.Init != nil {
+			if out.Init, err = x.expandSingleStmt(n.Init); err != nil {
+				return nil, err
+			}
+		}
+		if n.Cond != nil {
+			if out.Cond, err = x.expandExpr(n.Cond); err != nil {
+				return nil, err
+			}
+		}
+		if n.Post != nil {
+			if out.Post, err = x.expandSingleStmt(n.Post); err != nil {
+				return nil, err
+			}
+		}
+		body, err := x.expandStmts(n.Body.List)
+		if err != nil {
+			return nil, err
+		}
+		out.Body = &ast.BlockStmt{List: body}
+		return out, nil
+	case *ast.RangeStmt:
+		ke, err := x.expandExpr(n.Key)
+		if err != nil {
+			return nil, err
+		}
+		ve, err := x.expandExpr(n.Value)
+		if err != nil {
+			return nil, err
+		}
+		xe, err := x.expandExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		body, err := x.expandStmts(n.Body.List)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.RangeStmt{Key: ke, Value: ve, Tok: n.Tok, X: xe, Body: &ast.BlockStmt{List: body}}, nil
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		return clonePlainStmt(s), nil
+	case *ast.DeferStmt:
+		e, err := x.expandExpr(n.Call)
+		if err != nil {
+			return nil, err
+		}
+		call, err := mustCall(e)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.DeferStmt{Call: call}, nil
+	case *ast.IncDecStmt:
+		e, err := x.expandExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.IncDecStmt{X: e, Tok: n.Tok}, nil
+	default:
+		return clonePlainStmt(s), nil
+	}
+}
+
+func hookCall(name string, args ...ast.Expr) *ast.CallExpr {
+	return &ast.CallExpr{Fun: ast.NewIdent(name), Args: args}
+}
+
+func strLit(s string) ast.Expr {
+	return &ast.BasicLit{Kind: token.STRING, Value: strconv.Quote(s)}
+}
+
+func intLit(s string) ast.Expr {
+	if _, err := strconv.Atoi(s); err != nil {
+		s = "0"
+	}
+	return &ast.BasicLit{Kind: token.INT, Value: s}
+}
+
+func attrOr(d *pattern.Directive, key, def string) string {
+	if v, ok := d.Attrs[key]; ok && v != "" {
+		return v
+	}
+	return def
+}

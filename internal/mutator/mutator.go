@@ -1,0 +1,168 @@
+// Package mutator implements ProFIPy's source-code mutator: given a
+// compiled bug specification and one injection point found by the scanner,
+// it produces a mutated version of the target source file.
+//
+// Mutations are wrapped in a run-time trigger (EDFI-style): the mutated
+// code has the shape
+//
+//	if __fault_enabled() { <faulty statements> } else { <original> }
+//
+// so the sandbox can enable the fault during round 1 of the workload and
+// disable it during round 2 without redeploying, which is what powers the
+// service-availability analysis (§IV-B of the paper).
+package mutator
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+
+	"profipy/internal/pattern"
+	"profipy/internal/scanner"
+)
+
+// Options controls how a mutation is applied.
+type Options struct {
+	// Triggered wraps the faulty code in the run-time trigger branch.
+	// When false the faulty code replaces the original unconditionally.
+	Triggered bool
+}
+
+// Result is a mutated source file plus diagnostics about the change.
+type Result struct {
+	Source   []byte // full mutated file
+	Original string // source text of the replaced statements
+	Mutated  string // source text of the injected statements
+}
+
+// Apply mutates one injection point in a source file. The file is parsed
+// fresh, the match is re-established (scan ordering is deterministic), the
+// replacement template is instantiated against the match bindings, and the
+// mutated file is rendered back to source.
+func Apply(filename string, src []byte, mm *pattern.MetaModel, point scanner.InjectionPoint, opts Options) (*Result, error) {
+	if point.Spec != mm.Name {
+		return nil, fmt.Errorf("mutator: injection point is for spec %q, not %q", point.Spec, mm.Name)
+	}
+	fset := token.NewFileSet()
+	f, err := scanner.ParseSource(fset, filename, src)
+	if err != nil {
+		return nil, err
+	}
+	lists := scanner.CollectLists(f)
+	if point.ListIndex < 0 || point.ListIndex >= len(lists) {
+		return nil, fmt.Errorf("mutator: stale injection point: list index %d out of range", point.ListIndex)
+	}
+	listPtr := lists[point.ListIndex].Ptr
+	stmts := *listPtr
+	if point.Start < 0 || point.Start >= len(stmts) {
+		return nil, fmt.Errorf("mutator: stale injection point: start %d out of range", point.Start)
+	}
+
+	n, bindings, ok := mm.MatchPrefix(stmts, point.Start)
+	if !ok || n != point.N {
+		return nil, fmt.Errorf("mutator: stale injection point: pattern no longer matches at %s", point.ID())
+	}
+
+	ex := &expander{mm: mm, b: bindings}
+	faulty, err := ex.expandStmts(mm.Replace)
+	if err != nil {
+		return nil, err
+	}
+
+	originals := stmts[point.Start : point.Start+n]
+	origText := renderStmts(fset, originals)
+
+	var injected []ast.Stmt
+	if opts.Triggered {
+		// Keep a pristine copy of the originals in the else branch so the
+		// fault can be disabled at run time.
+		injected = []ast.Stmt{&ast.IfStmt{
+			Cond: &ast.CallExpr{Fun: ast.NewIdent(HookTrigger)},
+			Body: &ast.BlockStmt{List: faulty},
+			Else: &ast.BlockStmt{List: clonePlainStmts(originals)},
+		}}
+	} else {
+		injected = faulty
+	}
+	mutText := renderStmts(fset, injected)
+
+	newList := make([]ast.Stmt, 0, len(stmts)-n+len(injected))
+	newList = append(newList, stmts[:point.Start]...)
+	newList = append(newList, injected...)
+	newList = append(newList, stmts[point.Start+n:]...)
+	*listPtr = newList
+
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+	if err := cfg.Fprint(&buf, fset, f); err != nil {
+		return nil, fmt.Errorf("mutator: render mutated file: %w", err)
+	}
+	return &Result{Source: buf.Bytes(), Original: origText, Mutated: mutText}, nil
+}
+
+// Instrument inserts a coverage hook call (__cover(id)) before the first
+// statement of every injection point in a file, producing a single
+// instrumented version used by the coverage analysis (§IV-D). Points must
+// all belong to this file. Points are applied in descending statement
+// order so earlier indexes stay valid.
+func Instrument(filename string, src []byte, points []scanner.InjectionPoint) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := scanner.ParseSource(fset, filename, src)
+	if err != nil {
+		return nil, err
+	}
+	lists := scanner.CollectLists(f)
+
+	// Group insertions per list, then apply from the highest start first.
+	byList := map[int][]scanner.InjectionPoint{}
+	for _, p := range points {
+		if p.File != filename {
+			return nil, fmt.Errorf("mutator: point %s does not belong to file %s", p.ID(), filename)
+		}
+		if p.ListIndex < 0 || p.ListIndex >= len(lists) {
+			return nil, fmt.Errorf("mutator: stale injection point %s", p.ID())
+		}
+		byList[p.ListIndex] = append(byList[p.ListIndex], p)
+	}
+	for li, pts := range byList {
+		// Sort descending by start (insertion keeps earlier offsets valid).
+		for i := 1; i < len(pts); i++ {
+			for j := i; j > 0 && pts[j].Start > pts[j-1].Start; j-- {
+				pts[j], pts[j-1] = pts[j-1], pts[j]
+			}
+		}
+		listPtr := lists[li].Ptr
+		for _, p := range pts {
+			stmts := *listPtr
+			if p.Start > len(stmts) {
+				return nil, fmt.Errorf("mutator: stale injection point %s", p.ID())
+			}
+			hook := &ast.ExprStmt{X: hookCall(HookCover, strLit(p.ID()))}
+			newList := make([]ast.Stmt, 0, len(stmts)+1)
+			newList = append(newList, stmts[:p.Start]...)
+			newList = append(newList, hook)
+			newList = append(newList, stmts[p.Start:]...)
+			*listPtr = newList
+		}
+	}
+
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+	if err := cfg.Fprint(&buf, fset, f); err != nil {
+		return nil, fmt.Errorf("mutator: render instrumented file: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func renderStmts(fset *token.FileSet, stmts []ast.Stmt) string {
+	var buf bytes.Buffer
+	for i, s := range stmts {
+		if i > 0 {
+			buf.WriteString("; ")
+		}
+		buf.WriteString(pattern.StmtString(fset, s))
+	}
+	return buf.String()
+}

@@ -1,0 +1,47 @@
+package pattern
+
+// Glob reports whether s matches the glob pattern pat. The pattern
+// supports '*' (any run of characters, including empty) and '?' (exactly
+// one character); all other characters match literally. Matching is
+// case-sensitive, mirroring identifier matching in the target language.
+func Glob(pat, s string) bool {
+	// Iterative glob with single-star backtracking: O(len(s)*len(pat)).
+	var (
+		pi, si         int
+		starPi, starSi = -1, 0
+	)
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '?' || pat[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pat) && pat[pi] == '*':
+			starPi, starSi = pi, si
+			pi++
+		case starPi >= 0:
+			starSi++
+			pi, si = starPi+1, starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '*' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// GlobAny reports whether s matches any of the comma-separated glob
+// alternatives in pat (e.g. "delete_*,remove_*").
+func GlobAny(pat, s string) bool {
+	start := 0
+	for i := 0; i <= len(pat); i++ {
+		if i == len(pat) || pat[i] == ',' {
+			if Glob(pat[start:i], s) {
+				return true
+			}
+			start = i + 1
+		}
+	}
+	return false
+}

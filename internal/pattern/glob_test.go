@@ -1,0 +1,100 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGlob(t *testing.T) {
+	tests := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*", "", true},
+		{"*", "anything", true},
+		{"", "", true},
+		{"", "x", false},
+		{"Delete*", "DeletePort", true},
+		{"Delete*", "Delete", true},
+		{"Delete*", "delete", false},
+		{"*-*", "a-b", true},
+		{"*-*", "ab", false},
+		{"*-*", "-", true},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"utils.Execute", "utils.Execute", true},
+		{"utils.Execute", "utils.Executor", false},
+		{"*.Set", "c.Set", true},
+		{"*.Set", "Set", false},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "aXXcYYb", false},
+		{"**", "x", true},
+	}
+	for _, tc := range tests {
+		if got := Glob(tc.pat, tc.s); got != tc.want {
+			t.Errorf("Glob(%q, %q) = %v, want %v", tc.pat, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestGlobAny(t *testing.T) {
+	if !GlobAny("delete_*,remove_*", "remove_port") {
+		t.Error("GlobAny should match second alternative")
+	}
+	if GlobAny("delete_*,remove_*", "create_port") {
+		t.Error("GlobAny should not match")
+	}
+	if !GlobAny("exact", "exact") {
+		t.Error("GlobAny should match single alternative")
+	}
+}
+
+// Property: any string matches itself as a literal pattern (when it has no
+// metacharacters), and always matches "*".
+func TestGlobProperties(t *testing.T) {
+	selfMatch := func(s string) bool {
+		if strings.ContainsAny(s, "*?,") {
+			return true // skip metacharacter inputs
+		}
+		return Glob(s, s) && Glob("*", s)
+	}
+	if err := quick.Check(selfMatch, nil); err != nil {
+		t.Error(err)
+	}
+
+	// Property: a prefix pattern "p*" matches any string with that prefix.
+	prefixMatch := func(p, rest string) bool {
+		if strings.ContainsAny(p, "*?,") {
+			return true
+		}
+		return Glob(p+"*", p+rest)
+	}
+	if err := quick.Check(prefixMatch, nil); err != nil {
+		t.Error(err)
+	}
+
+	// Property: glob matching never panics and is deterministic.
+	deterministic := func(pat, s string) bool {
+		return Glob(pat, s) == Glob(pat, s)
+	}
+	if err := quick.Check(deterministic, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindCall.String() != "CALL" {
+		t.Errorf("KindCall = %q", KindCall.String())
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "UNKNOWN") {
+		t.Errorf("unknown kind = %q", got)
+	}
+	k, ok := KindByName("BLOCK")
+	if !ok || k != KindBlock {
+		t.Errorf("KindByName(BLOCK) = %v, %v", k, ok)
+	}
+	if _, ok := KindByName("NOPE"); ok {
+		t.Error("KindByName(NOPE) should fail")
+	}
+}

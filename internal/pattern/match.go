@@ -1,0 +1,599 @@
+package pattern
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// MatchPrefix tries to match the meta-model's code pattern against a prefix
+// of stmts[start:]. On success it returns the number of target statements
+// the pattern consumed and the tag bindings captured along the way.
+//
+// Block directives ($BLOCK{stmts=min,max}) are matched lazily (shortest run
+// first) so that each concrete fault site yields exactly one canonical
+// match instead of one match per possible block extent.
+func (m *MetaModel) MatchPrefix(stmts []ast.Stmt, start int) (int, Bindings, bool) {
+	if start < 0 || start > len(stmts) {
+		return 0, nil, false
+	}
+	n, b, ok := m.matchSeq(m.Pattern, stmts[start:], false, Bindings{})
+	if !ok {
+		return 0, nil, false
+	}
+	return n, b, true
+}
+
+// matchSeq matches a pattern statement sequence against target statements.
+// When anchored, the pattern must consume the entire target list (used for
+// nested bodies such as if/for blocks); otherwise a prefix match suffices.
+func (m *MetaModel) matchSeq(pat, tgt []ast.Stmt, anchored bool, b Bindings) (int, Bindings, bool) {
+	if len(pat) == 0 {
+		if anchored && len(tgt) != 0 {
+			return 0, nil, false
+		}
+		return 0, b, true
+	}
+
+	// Block directives get sequence-level treatment with backtracking.
+	if d := m.stmtDirective(pat[0]); d != nil && d.Kind == KindBlock {
+		maxK := d.MaxStmts
+		if maxK < 0 || maxK > len(tgt) {
+			maxK = len(tgt)
+		}
+		for k := d.MinStmts; k <= maxK; k++ {
+			trial := b.clone()
+			if d.Tag != "" {
+				trial[d.Tag] = Bound{Stmts: append([]ast.Stmt(nil), tgt[:k]...)}
+			}
+			rest, out, ok := m.matchSeq(pat[1:], tgt[k:], anchored, trial)
+			if ok {
+				return k + rest, out, true
+			}
+		}
+		return 0, nil, false
+	}
+
+	if len(tgt) == 0 {
+		return 0, nil, false
+	}
+	out, ok := m.matchStmt(pat[0], tgt[0], b)
+	if !ok {
+		return 0, nil, false
+	}
+	rest, out, ok := m.matchSeq(pat[1:], tgt[1:], anchored, out)
+	if !ok {
+		return 0, nil, false
+	}
+	return 1 + rest, out, true
+}
+
+// stmtDirective returns the directive when the pattern statement is a bare
+// placeholder expression statement, else nil.
+func (m *MetaModel) stmtDirective(s ast.Stmt) *Directive {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	return m.HoleFor(es.X)
+}
+
+// matchStmt matches a single pattern statement against a single target
+// statement, returning the (possibly extended) bindings.
+func (m *MetaModel) matchStmt(p, t ast.Stmt, b Bindings) (Bindings, bool) {
+	// A bare directive in statement position.
+	if d := m.stmtDirective(p); d != nil {
+		switch d.Kind {
+		case KindCall:
+			// Statement-position $CALL matches only statements whose
+			// outermost expression is the call itself (G-SWFIT MFC rule:
+			// the return value must be unused).
+			es, ok := t.(*ast.ExprStmt)
+			if !ok {
+				return nil, false
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return nil, false
+			}
+			return m.matchCallDirective(d, call, b)
+		case KindAny:
+			if d.Tag != "" {
+				b = b.clone()
+				b[d.Tag] = Bound{Stmts: []ast.Stmt{t}}
+			}
+			return b, true
+		default:
+			return nil, false
+		}
+	}
+
+	switch ps := p.(type) {
+	case *ast.ExprStmt:
+		ts, ok := t.(*ast.ExprStmt)
+		if !ok {
+			return nil, false
+		}
+		return m.matchExpr(ps.X, ts.X, b)
+	case *ast.AssignStmt:
+		ts, ok := t.(*ast.AssignStmt)
+		if !ok || ps.Tok != ts.Tok || len(ps.Lhs) != len(ts.Lhs) || len(ps.Rhs) != len(ts.Rhs) {
+			return nil, false
+		}
+		return m.matchExprLists(append(ps.Lhs, ps.Rhs...), append(ts.Lhs, ts.Rhs...), b)
+	case *ast.ReturnStmt:
+		ts, ok := t.(*ast.ReturnStmt)
+		if !ok || len(ps.Results) != len(ts.Results) {
+			return nil, false
+		}
+		return m.matchExprLists(ps.Results, ts.Results, b)
+	case *ast.IfStmt:
+		ts, ok := t.(*ast.IfStmt)
+		if !ok {
+			return nil, false
+		}
+		if (ps.Init == nil) != (ts.Init == nil) {
+			return nil, false
+		}
+		if ps.Init != nil {
+			var okInit bool
+			b, okInit = m.matchStmt(ps.Init, ts.Init, b)
+			if !okInit {
+				return nil, false
+			}
+		}
+		b, ok = m.matchExpr(ps.Cond, ts.Cond, b)
+		if !ok {
+			return nil, false
+		}
+		_, b, ok = m.matchSeq(ps.Body.List, ts.Body.List, true, b)
+		if !ok {
+			return nil, false
+		}
+		if (ps.Else == nil) != (ts.Else == nil) {
+			return nil, false
+		}
+		if ps.Else != nil {
+			return m.matchStmt(ps.Else, ts.Else, b)
+		}
+		return b, true
+	case *ast.BlockStmt:
+		ts, ok := t.(*ast.BlockStmt)
+		if !ok {
+			return nil, false
+		}
+		_, b, ok = m.matchSeq(ps.List, ts.List, true, b)
+		return b, ok
+	case *ast.ForStmt:
+		ts, ok := t.(*ast.ForStmt)
+		if !ok {
+			return nil, false
+		}
+		if (ps.Init == nil) != (ts.Init == nil) || (ps.Cond == nil) != (ts.Cond == nil) || (ps.Post == nil) != (ts.Post == nil) {
+			return nil, false
+		}
+		if ps.Init != nil {
+			if b, ok = m.matchStmt(ps.Init, ts.Init, b); !ok {
+				return nil, false
+			}
+		}
+		if ps.Cond != nil {
+			if b, ok = m.matchExpr(ps.Cond, ts.Cond, b); !ok {
+				return nil, false
+			}
+		}
+		if ps.Post != nil {
+			if b, ok = m.matchStmt(ps.Post, ts.Post, b); !ok {
+				return nil, false
+			}
+		}
+		_, b, ok = m.matchSeq(ps.Body.List, ts.Body.List, true, b)
+		return b, ok
+	case *ast.RangeStmt:
+		ts, ok := t.(*ast.RangeStmt)
+		if !ok || ps.Tok != ts.Tok {
+			return nil, false
+		}
+		if (ps.Key == nil) != (ts.Key == nil) || (ps.Value == nil) != (ts.Value == nil) {
+			return nil, false
+		}
+		if ps.Key != nil {
+			if b, ok = m.matchExpr(ps.Key, ts.Key, b); !ok {
+				return nil, false
+			}
+		}
+		if ps.Value != nil {
+			if b, ok = m.matchExpr(ps.Value, ts.Value, b); !ok {
+				return nil, false
+			}
+		}
+		if b, ok = m.matchExpr(ps.X, ts.X, b); !ok {
+			return nil, false
+		}
+		_, b, ok = m.matchSeq(ps.Body.List, ts.Body.List, true, b)
+		return b, ok
+	case *ast.BranchStmt:
+		ts, ok := t.(*ast.BranchStmt)
+		if !ok || ps.Tok != ts.Tok {
+			return nil, false
+		}
+		if (ps.Label == nil) != (ts.Label == nil) {
+			return nil, false
+		}
+		if ps.Label != nil && ps.Label.Name != ts.Label.Name {
+			return nil, false
+		}
+		return b, true
+	case *ast.DeferStmt:
+		ts, ok := t.(*ast.DeferStmt)
+		if !ok {
+			return nil, false
+		}
+		return m.matchExpr(ps.Call, ts.Call, b)
+	case *ast.GoStmt:
+		ts, ok := t.(*ast.GoStmt)
+		if !ok {
+			return nil, false
+		}
+		return m.matchExpr(ps.Call, ts.Call, b)
+	case *ast.IncDecStmt:
+		ts, ok := t.(*ast.IncDecStmt)
+		if !ok || ps.Tok != ts.Tok {
+			return nil, false
+		}
+		return m.matchExpr(ps.X, ts.X, b)
+	case *ast.SwitchStmt:
+		ts, ok := t.(*ast.SwitchStmt)
+		if !ok {
+			return nil, false
+		}
+		if (ps.Tag == nil) != (ts.Tag == nil) {
+			return nil, false
+		}
+		if ps.Tag != nil {
+			if b, ok = m.matchExpr(ps.Tag, ts.Tag, b); !ok {
+				return nil, false
+			}
+		}
+		if len(ps.Body.List) != len(ts.Body.List) {
+			return nil, false
+		}
+		for i := range ps.Body.List {
+			pc, okP := ps.Body.List[i].(*ast.CaseClause)
+			tc, okT := ts.Body.List[i].(*ast.CaseClause)
+			if !okP || !okT || len(pc.List) != len(tc.List) {
+				return nil, false
+			}
+			if b, ok = m.matchExprLists(pc.List, tc.List, b); !ok {
+				return nil, false
+			}
+			if _, b, ok = m.matchSeq(pc.Body, tc.Body, true, b); !ok {
+				return nil, false
+			}
+		}
+		return b, true
+	case *ast.LabeledStmt:
+		ts, ok := t.(*ast.LabeledStmt)
+		if !ok || ps.Label.Name != ts.Label.Name {
+			return nil, false
+		}
+		return m.matchStmt(ps.Stmt, ts.Stmt, b)
+	case *ast.EmptyStmt:
+		_, ok := t.(*ast.EmptyStmt)
+		if !ok {
+			return nil, false
+		}
+		return b, true
+	default:
+		return nil, false
+	}
+}
+
+func (m *MetaModel) matchExprLists(ps, ts []ast.Expr, b Bindings) (Bindings, bool) {
+	if len(ps) != len(ts) {
+		return nil, false
+	}
+	for i := range ps {
+		var ok bool
+		b, ok = m.matchExpr(ps[i], ts[i], b)
+		if !ok {
+			return nil, false
+		}
+	}
+	return b, true
+}
+
+// matchExpr matches a pattern expression (which may be a directive
+// placeholder) against a target expression.
+func (m *MetaModel) matchExpr(p, t ast.Expr, b Bindings) (Bindings, bool) {
+	for {
+		if pp, ok := p.(*ast.ParenExpr); ok {
+			p = pp.X
+			continue
+		}
+		break
+	}
+	for {
+		if tp, ok := t.(*ast.ParenExpr); ok {
+			t = tp.X
+			continue
+		}
+		break
+	}
+
+	if d := m.HoleFor(p); d != nil {
+		return m.matchDirectiveExpr(d, t, b)
+	}
+
+	switch pe := p.(type) {
+	case *ast.Ident:
+		te, ok := t.(*ast.Ident)
+		if !ok || pe.Name != te.Name {
+			return nil, false
+		}
+		return b, true
+	case *ast.BasicLit:
+		te, ok := t.(*ast.BasicLit)
+		if !ok || pe.Kind != te.Kind || pe.Value != te.Value {
+			return nil, false
+		}
+		return b, true
+	case *ast.SelectorExpr:
+		te, ok := t.(*ast.SelectorExpr)
+		if !ok || pe.Sel.Name != te.Sel.Name {
+			return nil, false
+		}
+		return m.matchExpr(pe.X, te.X, b)
+	case *ast.CallExpr:
+		te, ok := t.(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		b, ok = m.matchExpr(pe.Fun, te.Fun, b)
+		if !ok {
+			return nil, false
+		}
+		return m.matchRawArgs(pe.Args, te.Args, b)
+	case *ast.BinaryExpr:
+		te, ok := t.(*ast.BinaryExpr)
+		if !ok || pe.Op != te.Op {
+			return nil, false
+		}
+		b, ok = m.matchExpr(pe.X, te.X, b)
+		if !ok {
+			return nil, false
+		}
+		return m.matchExpr(pe.Y, te.Y, b)
+	case *ast.UnaryExpr:
+		te, ok := t.(*ast.UnaryExpr)
+		if !ok || pe.Op != te.Op {
+			return nil, false
+		}
+		return m.matchExpr(pe.X, te.X, b)
+	case *ast.IndexExpr:
+		te, ok := t.(*ast.IndexExpr)
+		if !ok {
+			return nil, false
+		}
+		b, ok = m.matchExpr(pe.X, te.X, b)
+		if !ok {
+			return nil, false
+		}
+		return m.matchExpr(pe.Index, te.Index, b)
+	case *ast.SliceExpr:
+		te, ok := t.(*ast.SliceExpr)
+		if !ok {
+			return nil, false
+		}
+		pairs := [][2]ast.Expr{{pe.Low, te.Low}, {pe.High, te.High}, {pe.Max, te.Max}}
+		b, ok = m.matchExpr(pe.X, te.X, b)
+		if !ok {
+			return nil, false
+		}
+		for _, pr := range pairs {
+			if (pr[0] == nil) != (pr[1] == nil) {
+				return nil, false
+			}
+			if pr[0] != nil {
+				if b, ok = m.matchExpr(pr[0], pr[1], b); !ok {
+					return nil, false
+				}
+			}
+		}
+		return b, true
+	case *ast.StarExpr:
+		te, ok := t.(*ast.StarExpr)
+		if !ok {
+			return nil, false
+		}
+		return m.matchExpr(pe.X, te.X, b)
+	case *ast.KeyValueExpr:
+		te, ok := t.(*ast.KeyValueExpr)
+		if !ok {
+			return nil, false
+		}
+		b, ok = m.matchExpr(pe.Key, te.Key, b)
+		if !ok {
+			return nil, false
+		}
+		return m.matchExpr(pe.Value, te.Value, b)
+	case *ast.CompositeLit:
+		te, ok := t.(*ast.CompositeLit)
+		if !ok || len(pe.Elts) != len(te.Elts) {
+			return nil, false
+		}
+		if (pe.Type == nil) != (te.Type == nil) {
+			return nil, false
+		}
+		if pe.Type != nil {
+			if b, ok = m.matchExpr(pe.Type, te.Type, b); !ok {
+				return nil, false
+			}
+		}
+		return m.matchExprLists(pe.Elts, te.Elts, b)
+	case *ast.MapType:
+		te, ok := t.(*ast.MapType)
+		if !ok {
+			return nil, false
+		}
+		b, ok = m.matchExpr(pe.Key, te.Key, b)
+		if !ok {
+			return nil, false
+		}
+		return m.matchExpr(pe.Value, te.Value, b)
+	case *ast.ArrayType:
+		te, ok := t.(*ast.ArrayType)
+		if !ok || (pe.Len == nil) != (te.Len == nil) {
+			return nil, false
+		}
+		if pe.Len != nil {
+			if b, ok = m.matchExpr(pe.Len, te.Len, b); !ok {
+				return nil, false
+			}
+		}
+		return m.matchExpr(pe.Elt, te.Elt, b)
+	default:
+		return nil, false
+	}
+}
+
+// matchRawArgs matches a raw-Go argument list (exact arity) but still
+// honours placeholder patterns inside individual arguments.
+func (m *MetaModel) matchRawArgs(ps, ts []ast.Expr, b Bindings) (Bindings, bool) {
+	return m.matchExprLists(ps, ts, b)
+}
+
+// matchDirectiveExpr matches a directive placeholder in expression context.
+func (m *MetaModel) matchDirectiveExpr(d *Directive, t ast.Expr, b Bindings) (Bindings, bool) {
+	bind := func(b Bindings) Bindings {
+		if d.Tag == "" {
+			return b
+		}
+		nb := b.clone()
+		nb[d.Tag] = Bound{Expr: t}
+		return nb
+	}
+	switch d.Kind {
+	case KindCall:
+		call, ok := t.(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		return m.matchCallDirective(d, call, b)
+	case KindExpr:
+		if v, ok := d.Attrs["var"]; ok && !MentionsIdent(t, v) {
+			return nil, false
+		}
+		return bind(b), true
+	case KindVar:
+		id, ok := t.(*ast.Ident)
+		if !ok || id.Name == "nil" {
+			return nil, false
+		}
+		if v, ok := d.Attrs["name"]; ok && !GlobAny(v, id.Name) {
+			return nil, false
+		}
+		return bind(b), true
+	case KindString:
+		lit, ok := t.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return nil, false
+		}
+		val, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return nil, false
+		}
+		if !GlobAny(d.ValPattern(), val) {
+			return nil, false
+		}
+		return bind(b), true
+	case KindInt:
+		lit, ok := t.(*ast.BasicLit)
+		if !ok || lit.Kind != token.INT {
+			return nil, false
+		}
+		if !GlobAny(d.ValPattern(), lit.Value) {
+			return nil, false
+		}
+		return bind(b), true
+	case KindNil:
+		id, ok := t.(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			return nil, false
+		}
+		return b, true
+	case KindAny:
+		return bind(b), true
+	default:
+		// Replacement-only directives never match in pattern position.
+		return nil, false
+	}
+}
+
+// matchCallDirective matches a $CALL directive against a call expression:
+// the callee name must match the name glob (against either the full dotted
+// path or its final segment) and, when an argument pattern was written,
+// the arguments must match it.
+func (m *MetaModel) matchCallDirective(d *Directive, call *ast.CallExpr, b Bindings) (Bindings, bool) {
+	name := CalleeName(call.Fun)
+	if name == "" {
+		return nil, false
+	}
+	pat := d.NamePattern()
+	last := name
+	if i := lastDot(name); i >= 0 {
+		last = name[i+1:]
+	}
+	if !GlobAny(pat, name) && !GlobAny(pat, last) {
+		return nil, false
+	}
+	if d.HasArgs {
+		var ok bool
+		b, ok = m.matchArgSeq(d.Args, call.Args, b)
+		if !ok {
+			return nil, false
+		}
+	}
+	if d.Tag != "" {
+		b = b.clone()
+		b[d.Tag] = Bound{Expr: call}
+	}
+	return b, true
+}
+
+// matchArgSeq matches a $CALL argument pattern (with "..." wildcards)
+// against concrete call arguments, lazily and with backtracking.
+func (m *MetaModel) matchArgSeq(pats []ArgPat, args []ast.Expr, b Bindings) (Bindings, bool) {
+	if len(pats) == 0 {
+		if len(args) != 0 {
+			return nil, false
+		}
+		return b, true
+	}
+	p0 := pats[0]
+	if p0.Ellipsis {
+		for k := 0; k <= len(args); k++ {
+			if out, ok := m.matchArgSeq(pats[1:], args[k:], b.clone()); ok {
+				return out, true
+			}
+		}
+		return nil, false
+	}
+	if len(args) == 0 {
+		return nil, false
+	}
+	out, ok := m.matchExpr(p0.Expr, args[0], b)
+	if !ok {
+		return nil, false
+	}
+	return m.matchArgSeq(pats[1:], args[1:], out)
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,208 @@
+// Package pattern implements the meta-model that the ProFIPy DSL compiles
+// into, and the engine that matches a meta-model against a target Go AST.
+//
+// A meta-model is a pair of statement lists — the code pattern and the code
+// replacement — expressed as ordinary Go AST fragments in which special
+// placeholder identifiers stand for DSL directives ($CALL, $BLOCK, $EXPR,
+// $STRING, ...). The matching engine walks target statement windows and
+// unifies directive placeholders with concrete AST nodes, producing a set
+// of tag bindings that the mutator later splices into the replacement.
+package pattern
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies a DSL directive.
+type Kind int
+
+// Directive kinds. KindCall matches call expressions, KindBlock matches a
+// run of consecutive statements, and so on. The remaining kinds (KindCorrupt,
+// KindHog, KindTimeout, KindPanic) are replacement-only directives that
+// expand into runtime hook calls.
+const (
+	KindCall Kind = iota + 1
+	KindBlock
+	KindExpr
+	KindVar
+	KindString
+	KindInt
+	KindAny
+	KindNil
+	KindCorrupt
+	KindHog
+	KindTimeout
+	KindPanic
+)
+
+var kindNames = map[Kind]string{
+	KindCall:    "CALL",
+	KindBlock:   "BLOCK",
+	KindExpr:    "EXPR",
+	KindVar:     "VAR",
+	KindString:  "STRING",
+	KindInt:     "INT",
+	KindAny:     "ANY",
+	KindNil:     "NIL",
+	KindCorrupt: "CORRUPT",
+	KindHog:     "HOG",
+	KindTimeout: "TIMEOUT",
+	KindPanic:   "PANIC",
+}
+
+// String returns the DSL spelling of the directive kind (without the $).
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "UNKNOWN(" + strconv.Itoa(int(k)) + ")"
+}
+
+// KindByName maps a DSL directive name (e.g. "CALL") to its Kind.
+// The second return value reports whether the name is known.
+func KindByName(name string) (Kind, bool) {
+	for k, s := range kindNames {
+		if s == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// ArgPat is one element of a $CALL argument pattern. Either Ellipsis is
+// true (matches zero or more arguments) or Expr holds an expression pattern
+// (which may itself contain directive placeholders).
+type ArgPat struct {
+	Ellipsis bool
+	Expr     ast.Expr
+}
+
+// Directive is the compiled form of one DSL directive occurrence.
+type Directive struct {
+	Kind  Kind
+	Tag   string            // binding tag ("" when untagged)
+	Attrs map[string]string // raw key=value attributes
+	Args  []ArgPat          // for KindCall: argument patterns; nil = no parens
+
+	// Block cardinality, for KindBlock. MaxStmts < 0 means unbounded (*).
+	MinStmts int
+	MaxStmts int
+
+	// HasArgs records whether an argument list was written at all. A bare
+	// $CALL{...} with no parentheses matches a call with any arguments.
+	HasArgs bool
+}
+
+// NamePattern returns the glob the directive's name attribute holds
+// ("*" when absent).
+func (d *Directive) NamePattern() string {
+	if v, ok := d.Attrs["name"]; ok {
+		return v
+	}
+	return "*"
+}
+
+// ValPattern returns the glob for literal-value matching ("*" when absent).
+func (d *Directive) ValPattern() string {
+	if v, ok := d.Attrs["val"]; ok {
+		return v
+	}
+	return "*"
+}
+
+// String renders the directive roughly in DSL syntax, for diagnostics.
+func (d *Directive) String() string {
+	var sb strings.Builder
+	sb.WriteByte('$')
+	sb.WriteString(d.Kind.String())
+	if d.Tag != "" {
+		sb.WriteByte('#')
+		sb.WriteString(d.Tag)
+	}
+	if len(d.Attrs) > 0 {
+		sb.WriteByte('{')
+		first := true
+		for k, v := range d.Attrs {
+			if !first {
+				sb.WriteString("; ")
+			}
+			first = false
+			sb.WriteString(k)
+			sb.WriteByte('=')
+			sb.WriteString(v)
+		}
+		sb.WriteByte('}')
+	}
+	return sb.String()
+}
+
+// MetaModel is a compiled bug specification: the code pattern to search
+// for and the code replacement to inject, plus the directive table keyed
+// by placeholder identifier (__dsl_N).
+type MetaModel struct {
+	Name    string
+	Pattern []ast.Stmt
+	Replace []ast.Stmt
+	Holes   map[string]*Directive
+	Fset    *token.FileSet
+}
+
+// HoleFor returns the directive bound to a placeholder expression, or nil
+// when the expression is not a placeholder. Directives that consume an
+// argument list ($CALL, $CORRUPT, ...) are emitted as zero-argument calls
+// (`__dsl_N()`) so they parse in call-only positions such as defer and go
+// statements; both spellings resolve here.
+func (m *MetaModel) HoleFor(e ast.Expr) *Directive {
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 0 {
+		e = call.Fun
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return m.Holes[id.Name]
+}
+
+// Bound is a value captured by a tagged directive during matching: either
+// a statement run (for $BLOCK) or a single expression (everything else).
+type Bound struct {
+	Stmts []ast.Stmt
+	Expr  ast.Expr
+}
+
+// Bindings maps directive tags to the nodes they captured.
+type Bindings map[string]Bound
+
+func (b Bindings) clone() Bindings {
+	nb := make(Bindings, len(b))
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// Match is one occurrence of a meta-model's code pattern in a target file:
+// a window of N consecutive statements starting at Start within the
+// statement list identified by BlockPath.
+type Match struct {
+	File      string
+	FuncName  string // enclosing function or method, "" at file scope
+	BlockPath []int  // child indices from the function body to the stmt list
+	Start     int    // first statement index in the window
+	N         int    // statements consumed by the pattern
+	Pos       token.Position
+	Bindings  Bindings
+}
+
+// ID returns a stable identifier for the match within its file.
+func (m *Match) ID() string {
+	parts := make([]string, 0, len(m.BlockPath)+2)
+	for _, p := range m.BlockPath {
+		parts = append(parts, strconv.Itoa(p))
+	}
+	return fmt.Sprintf("%s:%s:%s@%d+%d", m.File, m.FuncName, strings.Join(parts, "."), m.Start, m.N)
+}

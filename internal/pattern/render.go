@@ -1,0 +1,77 @@
+package pattern
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// CalleeName renders the callee of a call expression as a dotted path
+// ("Execute", "utils.Execute", "c.conn.Do"). It returns "" for callees
+// that are not identifier/selector chains (e.g. immediately-invoked
+// function literals).
+func CalleeName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := CalleeName(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return CalleeName(x.X)
+	default:
+		return ""
+	}
+}
+
+// ExprString renders an expression as source text. Used in diagnostics
+// and injection-point snippets.
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	if fset == nil {
+		fset = token.NewFileSet()
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<unprintable>"
+	}
+	return buf.String()
+}
+
+// StmtString renders a statement as source text.
+func StmtString(fset *token.FileSet, s ast.Stmt) string {
+	if s == nil {
+		return ""
+	}
+	if fset == nil {
+		fset = token.NewFileSet()
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, s); err != nil {
+		return "<unprintable>"
+	}
+	return buf.String()
+}
+
+// MentionsIdent reports whether the expression tree mentions an identifier
+// whose name matches the given glob.
+func MentionsIdent(e ast.Expr, nameGlob string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && GlobAny(nameGlob, id.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,128 @@
+package plan
+
+import (
+	"testing"
+
+	"profipy/internal/faultmodel"
+	"profipy/internal/scanner"
+)
+
+const target = `package p
+
+func A() {
+	pre()
+	DeleteX()
+	post()
+}
+
+func B() {
+	pre()
+	DeleteY()
+	post()
+}
+`
+
+func buildTestPlan(t *testing.T) *Plan {
+	t.Helper()
+	specs := []faultmodel.Spec{
+		{Name: "mfc", Type: "MFC", DSL: `
+change {
+	$BLOCK{tag=b1; stmts=1,*}
+	$CALL{name=Delete*}(...)
+	$BLOCK{tag=b2; stmts=1,*}
+} into {
+	$BLOCK{tag=b1}
+	$BLOCK{tag=b2}
+}`},
+		{Name: "calls", Type: "AllCalls", DSL: `
+change {
+	$CALL{name=p*}(...)
+} into {
+}`},
+	}
+	p, err := Build(map[string][]byte{"a.go": []byte(target)}, specs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestBuildAndCounts(t *testing.T) {
+	p := buildTestPlan(t)
+	// 2 MFC matches + 4 pre/post call matches.
+	if p.Len() != 6 {
+		t.Fatalf("points = %d, want 6", p.Len())
+	}
+	byType := p.CountByType()
+	if byType["MFC"] != 2 || byType["AllCalls"] != 4 {
+		t.Fatalf("byType = %v", byType)
+	}
+	if p.CountByFile()["a.go"] != 6 {
+		t.Fatalf("byFile = %v", p.CountByFile())
+	}
+}
+
+func TestFilters(t *testing.T) {
+	p := buildTestPlan(t)
+	if got := p.FilterType("MFC").Len(); got != 2 {
+		t.Errorf("FilterType = %d, want 2", got)
+	}
+	if got := p.FilterFile("*.go").Len(); got != 6 {
+		t.Errorf("FilterFile(*.go) = %d, want 6", got)
+	}
+	if got := p.FilterFile("b.*").Len(); got != 0 {
+		t.Errorf("FilterFile(b.*) = %d, want 0", got)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	p := buildTestPlan(t)
+	s1 := p.Sample(3, 42)
+	s2 := p.Sample(3, 42)
+	if s1.Len() != 3 || s2.Len() != 3 {
+		t.Fatalf("sample sizes = %d, %d", s1.Len(), s2.Len())
+	}
+	for i := range s1.Points {
+		if s1.Points[i].ID() != s2.Points[i].ID() {
+			t.Fatal("sampling is not deterministic")
+		}
+	}
+	// Sampling more than available returns everything.
+	if got := p.Sample(100, 1).Len(); got != p.Len() {
+		t.Errorf("oversample = %d, want %d", got, p.Len())
+	}
+}
+
+func TestKeep(t *testing.T) {
+	p := buildTestPlan(t)
+	ids := map[string]bool{p.Points[0].ID(): true, p.Points[3].ID(): true}
+	kept := p.Keep(ids)
+	if kept.Len() != 2 {
+		t.Fatalf("kept = %d, want 2", kept.Len())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := buildTestPlan(t)
+	data, err := p.Save()
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	p2, err := Load(data)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if p2.Len() != p.Len() || len(p2.Specs) != len(p.Specs) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := Load([]byte("{bad")); err == nil {
+		t.Error("Load of bad JSON should fail")
+	}
+}
+
+func TestTypeOfFallsBackToSpecName(t *testing.T) {
+	p := New(nil, []scanner.InjectionPoint{{Spec: "unknown-spec"}})
+	if got := p.TypeOf(p.Points[0]); got != "unknown-spec" {
+		t.Errorf("TypeOf = %q", got)
+	}
+}

@@ -1,0 +1,375 @@
+// Package saas implements the software-as-a-service workflow of the
+// paper: an HTTP/JSON API through which users upload the target source,
+// configure faultloads (DSL specs or saved fault models) and workloads,
+// launch campaigns, and retrieve failure-analysis reports. It is the
+// substitute for ProFIPy's web front end, minus the browser UI.
+package saas
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"profipy/internal/analysis"
+	"profipy/internal/campaign"
+	"profipy/internal/faultmodel"
+	"profipy/internal/interp"
+	"profipy/internal/kvclient"
+	"profipy/internal/sandbox"
+	"profipy/internal/workload"
+)
+
+// Project is an uploaded target: named source files plus the workload
+// entry configuration.
+type Project struct {
+	ID    string            `json:"id"`
+	Name  string            `json:"name"`
+	Files map[string]string `json:"files"`
+}
+
+// CampaignRequest configures one campaign run.
+type CampaignRequest struct {
+	Project string `json:"project"`
+	// Model selects a registered fault model by name; Specs supplies an
+	// inline faultload instead.
+	Model string            `json:"model,omitempty"`
+	Specs []faultmodel.Spec `json:"specs,omitempty"`
+	// ScanFiles restricts scanning to these files (empty = all).
+	ScanFiles []string `json:"scanFiles,omitempty"`
+	// Workload execution settings.
+	Entry         string   `json:"entry"`
+	WorkloadFiles []string `json:"workloadFiles,omitempty"`
+	TimeoutSec    int64    `json:"timeoutSec,omitempty"`
+	// Env selects the host environment: "kvclient" (etcd case study) or
+	// "plain" (hooks only).
+	Env string `json:"env,omitempty"`
+	// SampleN caps experiments; ReducePlan prunes uncovered points.
+	SampleN    int   `json:"sampleN,omitempty"`
+	ReducePlan bool  `json:"reducePlan,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+	// Classes are user-defined failure modes.
+	Classes []analysis.FailureClass `json:"classes,omitempty"`
+}
+
+// CampaignSummary is the list view of a finished campaign.
+type CampaignSummary struct {
+	ID       string `json:"id"`
+	Project  string `json:"project"`
+	Points   int    `json:"points"`
+	Covered  int    `json:"covered"`
+	Failures int    `json:"failures"`
+}
+
+// campaignRun stores a finished campaign.
+type campaignRun struct {
+	summary CampaignSummary
+	report  *analysis.Report
+	text    string
+}
+
+// Server is the SaaS API server state.
+type Server struct {
+	mu        sync.Mutex
+	projects  map[string]*Project
+	models    *faultmodel.Registry
+	campaigns map[string]*campaignRun
+	nextID    int
+	cores     int
+}
+
+// NewServer creates a SaaS server simulating a host with the given number
+// of cores (experiments run N−1 in parallel).
+func NewServer(cores int) *Server {
+	s := &Server{
+		projects:  make(map[string]*Project),
+		models:    faultmodel.NewRegistry(),
+		campaigns: make(map[string]*campaignRun),
+		cores:     cores,
+	}
+	// Preload the paper's case study as a demo project.
+	demo := &Project{ID: "demo-python-etcd", Name: "python-etcd", Files: map[string]string{}}
+	for name, data := range kvclient.Sources() {
+		demo.Files[name] = string(data)
+	}
+	s.projects[demo.ID] = demo
+	return s
+}
+
+// Handler returns the HTTP handler exposing the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/projects", s.handleCreateProject)
+	mux.HandleFunc("GET /api/v1/projects", s.handleListProjects)
+	mux.HandleFunc("POST /api/v1/faultmodels", s.handleCreateModel)
+	mux.HandleFunc("GET /api/v1/faultmodels", s.handleListModels)
+	mux.HandleFunc("GET /api/v1/faultmodels/{name}", s.handleGetModel)
+	mux.HandleFunc("POST /api/v1/campaigns", s.handleRunCampaign)
+	mux.HandleFunc("GET /api/v1/campaigns", s.handleListCampaigns)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleGetCampaign)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/text", s.handleGetCampaignText)
+	return mux
+}
+
+func (s *Server) handleCreateProject(w http.ResponseWriter, r *http.Request) {
+	var p Project
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		httpError(w, http.StatusBadRequest, "bad project json: %v", err)
+		return
+	}
+	if p.Name == "" || len(p.Files) == 0 {
+		httpError(w, http.StatusBadRequest, "project needs a name and files")
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	p.ID = "proj-" + strconv.Itoa(s.nextID)
+	s.projects[p.ID] = &p
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{"id": p.ID})
+}
+
+func (s *Server) handleListProjects(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]map[string]any, 0, len(s.projects))
+	ids := make([]string, 0, len(s.projects))
+	for id := range s.projects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := s.projects[id]
+		out = append(out, map[string]any{"id": p.ID, "name": p.Name, "files": len(p.Files)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
+	var m faultmodel.Model
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		httpError(w, http.StatusBadRequest, "bad model json: %v", err)
+		return
+	}
+	if m.Name == "" {
+		httpError(w, http.StatusBadRequest, "model needs a name")
+		return
+	}
+	if err := m.Validate(); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "model does not compile: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.models.Register(&m)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{"name": m.Name})
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.models.Names())
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	m, ok := s.models.Get(r.PathValue("name"))
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such model")
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad campaign json: %v", err)
+		return
+	}
+	s.mu.Lock()
+	proj, ok := s.projects[req.Project]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such project: %s", req.Project)
+		return
+	}
+	specs := req.Specs
+	if req.Model != "" {
+		s.mu.Lock()
+		m, ok := s.models.Get(req.Model)
+		s.mu.Unlock()
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such fault model: %s", req.Model)
+			return
+		}
+		specs = append(append([]faultmodel.Spec(nil), specs...), m.Specs...)
+	}
+	if len(specs) == 0 {
+		httpError(w, http.StatusBadRequest, "campaign needs specs or a model")
+		return
+	}
+	if req.Entry == "" {
+		httpError(w, http.StatusBadRequest, "campaign needs a workload entry function")
+		return
+	}
+
+	files := make(map[string][]byte, len(proj.Files))
+	names := make([]string, 0, len(proj.Files))
+	for name, content := range proj.Files {
+		files[name] = []byte(content)
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	wlFiles := req.WorkloadFiles
+	if len(wlFiles) == 0 {
+		wlFiles = names
+	}
+	timeout := req.TimeoutSec
+	if timeout <= 0 {
+		timeout = 240
+	}
+
+	env := envFunc(req.Env)
+	if env == nil {
+		httpError(w, http.StatusBadRequest, "unknown env %q (want kvclient or plain)", req.Env)
+		return
+	}
+
+	c := &campaign.Campaign{
+		Name:      req.Project,
+		Files:     files,
+		ScanFiles: req.ScanFiles,
+		Faultload: specs,
+		Workload: workload.Config{
+			Entry:     req.Entry,
+			Files:     wlFiles,
+			TimeoutNS: timeout * 1_000_000_000,
+			MaxSteps:  20_000_000,
+			Env:       env,
+		},
+		Runtime:    sandbox.NewRuntime(sandbox.RuntimeConfig{Cores: s.cores, Seed: req.Seed}),
+		Image:      sandbox.Image{Name: req.Project, MemMB: 256, IOMBps: 10},
+		Seed:       req.Seed,
+		SampleN:    req.SampleN,
+		ReducePlan: req.ReducePlan,
+		Analysis:   analysis.Config{Classes: req.Classes, Components: map[string][]string{}},
+	}
+	res, err := c.Run()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "campaign failed: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := "camp-" + strconv.Itoa(s.nextID)
+	run := &campaignRun{
+		summary: CampaignSummary{
+			ID: id, Project: req.Project,
+			Points: res.Report.Total, Covered: res.Report.Covered, Failures: res.Report.Failures,
+		},
+		report: res.Report,
+		text:   res.Report.Render("campaign " + id + " (" + proj.Name + ")"),
+	}
+	s.campaigns[id] = run
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "report": res.Report})
+}
+
+func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.campaigns))
+	for id := range s.campaigns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]CampaignSummary, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.campaigns[id].summary)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	run, ok := s.campaigns[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	writeJSON(w, http.StatusOK, run.report)
+}
+
+func (s *Server) handleGetCampaignText(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	run, ok := s.campaigns[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(run.text))
+}
+
+// envFunc resolves the host environment for experiment interpreters.
+func envFunc(name string) func(it *interp.Interp, c *sandbox.Container) {
+	switch name {
+	case "", "kvclient":
+		return func(it *interp.Interp, c *sandbox.Container) { kvclient.InstallEnv(it, c) }
+	case "plain":
+		return func(it *interp.Interp, c *sandbox.Container) { sandbox.InstallHooks(it, c) }
+	default:
+		return nil
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// DemoProjectID is the preloaded case-study project.
+const DemoProjectID = "demo-python-etcd"
+
+// DemoCampaignRequest builds the request reproducing one of the §V
+// campaigns ("A", "B" or "C") against the demo project.
+func DemoCampaignRequest(which string, seed int64) (CampaignRequest, error) {
+	req := CampaignRequest{
+		Project: DemoProjectID,
+		Entry:   "Workload",
+		Env:     "kvclient",
+		Seed:    seed,
+		Classes: kvclient.AnalysisConfig().Classes,
+	}
+	switch strings.ToUpper(which) {
+	case "A":
+		req.Specs = kvclient.CampaignAFaultload()
+		req.ScanFiles = []string{kvclient.FileClient, kvclient.FileLock, kvclient.FileAuth}
+	case "B":
+		req.Specs = kvclient.CampaignBFaultload()
+		req.ScanFiles = []string{kvclient.FileWorkload}
+	case "C":
+		req.Specs = kvclient.CampaignCFaultload()
+		req.ScanFiles = []string{kvclient.FileWorkload}
+	default:
+		return req, fmt.Errorf("unknown demo campaign %q (want A, B or C)", which)
+	}
+	req.WorkloadFiles = []string{kvclient.FileClient, kvclient.FileLock, kvclient.FileAuth, kvclient.FileWorkload}
+	return req, nil
+}

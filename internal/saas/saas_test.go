@@ -1,0 +1,235 @@
+package saas
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"profipy/internal/faultmodel"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(4).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("post %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("get %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}
+
+func TestProjectLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/api/v1/projects", map[string]any{
+		"name":  "myapp",
+		"files": map[string]string{"main.go": "package main\nfunc F() any { return nil }\n"},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var id string
+	_ = json.Unmarshal(out["id"], &id)
+	if !strings.HasPrefix(id, "proj-") {
+		t.Fatalf("id = %q", id)
+	}
+	code, body := getBody(t, ts.URL+"/api/v1/projects")
+	if code != 200 || !strings.Contains(body, "myapp") || !strings.Contains(body, DemoProjectID) {
+		t.Fatalf("list = %d %s", code, body)
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/api/v1/projects", map[string]any{"name": "x"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestFaultModelRegistrationAndRetrieval(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/api/v1/faultmodels", map[string]any{
+		"name": "custom",
+		"specs": []map[string]string{
+			{"name": "omit", "type": "MFC", "dsl": "change { $CALL{name=f}(...) } into { }"},
+		},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	code, body := getBody(t, ts.URL+"/api/v1/faultmodels")
+	if code != 200 || !strings.Contains(body, "custom") || !strings.Contains(body, "gswfit") {
+		t.Fatalf("models = %s", body)
+	}
+	code, body = getBody(t, ts.URL+"/api/v1/faultmodels/gswfit")
+	if code != 200 || !strings.Contains(body, "MIFS") {
+		t.Fatalf("gswfit = %d %s", code, body)
+	}
+	code, _ = getBody(t, ts.URL+"/api/v1/faultmodels/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("missing model = %d", code)
+	}
+}
+
+func TestFaultModelRejectsBadDSL(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/api/v1/faultmodels", map[string]any{
+		"name":  "bad",
+		"specs": []map[string]string{{"name": "x", "dsl": "change { $BOGUS } into { }"}},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestDemoCampaignEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+	req, err := DemoCampaignRequest("A", 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.SampleN = 6 // keep the test fast
+	resp, out := postJSON(t, ts.URL+"/api/v1/campaigns", req)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	var id string
+	_ = json.Unmarshal(out["id"], &id)
+
+	code, body := getBody(t, ts.URL+"/api/v1/campaigns/"+id)
+	if code != 200 || !strings.Contains(body, "\"total\": 6") {
+		t.Fatalf("campaign json = %d %s", code, body)
+	}
+	code, text := getBody(t, ts.URL+"/api/v1/campaigns/"+id+"/text")
+	if code != 200 || !strings.Contains(text, "experiments:") {
+		t.Fatalf("campaign text = %d %s", code, text)
+	}
+	code, body = getBody(t, ts.URL+"/api/v1/campaigns")
+	if code != 200 || !strings.Contains(body, id) {
+		t.Fatalf("campaign list = %s", body)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	ts := newTestServer(t)
+	tests := []struct {
+		name string
+		req  map[string]any
+		want int
+	}{
+		{"missing project", map[string]any{"project": "nope", "entry": "W"}, http.StatusNotFound},
+		{"no specs", map[string]any{"project": DemoProjectID, "entry": "W"}, http.StatusBadRequest},
+		{"no entry", map[string]any{"project": DemoProjectID,
+			"specs": []map[string]string{{"name": "s", "dsl": "change { f() } into { }"}}}, http.StatusBadRequest},
+		{"bad env", map[string]any{"project": DemoProjectID, "entry": "Workload", "env": "weird",
+			"specs": []map[string]string{{"name": "s", "dsl": "change { f() } into { }"}}}, http.StatusBadRequest},
+		{"unknown model", map[string]any{"project": DemoProjectID, "entry": "Workload", "model": "nope"}, http.StatusNotFound},
+	}
+	for _, tc := range tests {
+		resp, _ := postJSON(t, ts.URL+"/api/v1/campaigns", tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestDemoCampaignRequestValidation(t *testing.T) {
+	if _, err := DemoCampaignRequest("Z", 1); err == nil {
+		t.Error("unknown demo campaign should fail")
+	}
+	for _, which := range []string{"A", "b", "C"} {
+		if _, err := DemoCampaignRequest(which, 1); err != nil {
+			t.Errorf("DemoCampaignRequest(%s): %v", which, err)
+		}
+	}
+}
+
+func TestUploadedProjectCampaignPlainEnv(t *testing.T) {
+	ts := newTestServer(t)
+	target := `package main
+
+func work(n int) any {
+	pre(n)
+	launch(n)
+	post(n)
+	return nil
+}
+
+func pre(n int) any { return n }
+func launch(n int) any { return n }
+func post(n int) any { return n }
+
+func Workload() any {
+	work(3)
+	return "ok"
+}`
+	_, out := postJSON(t, ts.URL+"/api/v1/projects", map[string]any{
+		"name":  "plainapp",
+		"files": map[string]string{"app.go": target},
+	})
+	var id string
+	_ = json.Unmarshal(out["id"], &id)
+
+	req := CampaignRequest{
+		Project: id,
+		Entry:   "Workload",
+		Env:     "plain",
+		Specs: []faultmodel.Spec{
+			{Name: "omit-launch", Type: "MFC", DSL: `
+change {
+	$BLOCK{tag=b1; stmts=1,*}
+	$CALL{name=launch}(...)
+	$BLOCK{tag=b2; stmts=1,*}
+} into {
+	$BLOCK{tag=b1}
+	$BLOCK{tag=b2}
+}`},
+		},
+	}
+	resp, body := postJSON(t, ts.URL+"/api/v1/campaigns", req)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d: %v", resp.StatusCode, body)
+	}
+	var rep struct {
+		Total int `json:"total"`
+	}
+	_ = json.Unmarshal(body["report"], &rep)
+	if rep.Total != 1 {
+		t.Fatalf("report total = %d, want 1", rep.Total)
+	}
+}

@@ -1,0 +1,92 @@
+// Package sandbox implements the container-based experimental environment
+// that substitutes for Docker in the original ProFIPy (§IV-B): images hold
+// the (possibly mutated) target source plus configuration; containers give
+// each experiment an isolated in-memory filesystem, log streams, a fault
+// trigger in "shared memory", and resource accounting; the runtime
+// schedules at most N−1 parallel containers on an N-core host, throttled
+// further under memory/I-O pressure (the "no PAIN no gain" rule [52]).
+package sandbox
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FS is a container-private in-memory filesystem.
+type FS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewFS creates an empty filesystem.
+func NewFS() *FS {
+	return &FS{files: make(map[string][]byte)}
+}
+
+// Write stores a file (copying the contents).
+func (f *FS) Write(path string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[path] = append([]byte(nil), data...)
+}
+
+// Read returns a file's contents.
+func (f *FS) Read(path string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.files[path]
+	if !ok {
+		return nil, fmt.Errorf("fs: no such file: %s", path)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Remove deletes a file; removing a missing file is an error (so leaked
+// temp files are observable in tests).
+func (f *FS) Remove(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.files[path]; !ok {
+		return fmt.Errorf("fs: no such file: %s", path)
+	}
+	delete(f.files, path)
+	return nil
+}
+
+// List returns all paths in sorted order.
+func (f *FS) List() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.files))
+	for p := range f.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of files.
+func (f *FS) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.files)
+}
+
+// Clear removes everything (container teardown).
+func (f *FS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files = make(map[string][]byte)
+}
+
+// Clone returns a deep copy (image -> container copy-on-create).
+func (f *FS) Clone() *FS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	nf := NewFS()
+	for p, d := range f.files {
+		nf.files[p] = append([]byte(nil), d...)
+	}
+	return nf
+}

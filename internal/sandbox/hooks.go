@@ -1,0 +1,134 @@
+package sandbox
+
+import (
+	"fmt"
+	"math/rand"
+
+	"profipy/internal/interp"
+	"profipy/internal/mutator"
+)
+
+// HogVirtualNS is the virtual time one unit of CPU hog burns.
+const HogVirtualNS = 30_000_000_000 // 30s of virtual CPU time per hog unit
+
+// InstallHooks registers the fault-injection runtime hooks on an
+// interpreter, binding them to a container. These are the functions the
+// mutator's replacement templates call: the trigger, string corruption,
+// CPU hogs, delays, exception construction, coverage and component logs.
+func InstallHooks(it *interp.Interp, c *Container) {
+	rng := rand.New(rand.NewSource(c.Seed()))
+
+	it.RegisterHostFunc(mutator.HookTrigger, func(it *interp.Interp, args []interp.Value) (interp.Value, error) {
+		return c.TriggerEnabled(), nil
+	})
+
+	it.RegisterHostFunc(mutator.HookCorrupt, func(it *interp.Interp, args []interp.Value) (interp.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("__corrupt takes one argument")
+		}
+		return Corrupt(rng, args[0]), nil
+	})
+
+	it.RegisterHostFunc(mutator.HookHog, func(it *interp.Interp, args []interp.Value) (interp.Value, error) {
+		amount := int64(1)
+		if len(args) >= 2 {
+			if n, ok := args[1].(int64); ok && n > 0 {
+				amount = n
+			}
+		}
+		c.AddContention(int(amount))
+		it.AdvanceClock(amount * HogVirtualNS)
+		return nil, nil
+	})
+
+	it.RegisterHostFunc(mutator.HookDelay, func(it *interp.Interp, args []interp.Value) (interp.Value, error) {
+		ms := int64(1000)
+		if len(args) >= 1 {
+			if n, ok := args[0].(int64); ok && n >= 0 {
+				ms = n
+			}
+		}
+		it.AdvanceClock(ms * 1_000_000)
+		return nil, nil
+	})
+
+	it.RegisterHostFunc(mutator.HookExc, func(it *interp.Interp, args []interp.Value) (interp.Value, error) {
+		excType, msg := "Error", "injected fault"
+		if len(args) >= 1 {
+			if s, ok := args[0].(string); ok {
+				excType = s
+			}
+		}
+		if len(args) >= 2 {
+			if s, ok := args[1].(string); ok {
+				msg = s
+			}
+		}
+		return &interp.Exc{Type: excType, Msg: msg}, nil
+	})
+
+	it.RegisterHostFunc(mutator.HookCover, func(it *interp.Interp, args []interp.Value) (interp.Value, error) {
+		if len(args) == 1 {
+			if id, ok := args[0].(string); ok {
+				c.MarkCovered(id)
+			}
+		}
+		return nil, nil
+	})
+
+	it.RegisterHostFunc("__log", func(it *interp.Interp, args []interp.Value) (interp.Value, error) {
+		if len(args) < 2 {
+			return nil, fmt.Errorf("__log takes component and message")
+		}
+		comp, _ := args[0].(string)
+		fmt.Fprintf(c.Log(comp), "%s\n", interp.Repr(args[1]))
+		return nil, nil
+	})
+}
+
+// Corrupt produces a deterministic corrupted variant of a value, the
+// semantics of the $CORRUPT directive: strings get characters replaced
+// with random contents (sometimes non-ASCII, which the kvstore rejects
+// with 400 Bad Request); ints become random negatives; bools flip;
+// nil stays nil.
+func Corrupt(rng *rand.Rand, v interp.Value) interp.Value {
+	switch x := v.(type) {
+	case string:
+		return corruptString(rng, x)
+	case int64:
+		return -(rng.Int63n(1 << 30)) - 1
+	case float64:
+		return -x - 1
+	case bool:
+		return !x
+	case *interp.List:
+		if len(x.Elems) == 0 {
+			return x
+		}
+		out := interp.NewList(append([]interp.Value(nil), x.Elems...)...)
+		i := rng.Intn(len(out.Elems))
+		out.Elems[i] = Corrupt(rng, out.Elems[i])
+		return out
+	default:
+		return nil
+	}
+}
+
+func corruptString(rng *rand.Rand, s string) string {
+	if s == "" {
+		return string(rune(0x80 + rng.Intn(0x40)))
+	}
+	b := []byte(s)
+	// Replace roughly half of the characters with random contents; with
+	// probability 1/6 one of them is non-ASCII (which the kvstore
+	// rejects as 400 Bad Request).
+	for i := range b {
+		if rng.Intn(2) == 0 {
+			b[i] = byte('!' + rng.Intn(90))
+		}
+	}
+	if rng.Intn(6) == 0 {
+		b[rng.Intn(len(b))] = byte(0x80 + rng.Intn(0x7f))
+	}
+	return string(b)
+}

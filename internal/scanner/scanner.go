@@ -1,0 +1,222 @@
+// Package scanner implements ProFIPy's source-code scanner: it walks the
+// AST of the software-under-injection and finds every match of a compiled
+// bug specification (meta-model), producing the list of fault injection
+// points from which the fault injection plan is built.
+package scanner
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+
+	"profipy/internal/pattern"
+)
+
+// InjectionPoint identifies one location where a bug specification can be
+// injected: a statement window within a statement list of a file.
+type InjectionPoint struct {
+	Spec      string `json:"spec"`
+	File      string `json:"file"`
+	Func      string `json:"func"`
+	ListIndex int    `json:"listIndex"`
+	Start     int    `json:"start"`
+	N         int    `json:"n"`
+	Line      int    `json:"line"`
+	Snippet   string `json:"snippet"`
+}
+
+// ID returns a stable identifier for the point, unique within a project.
+func (p InjectionPoint) ID() string {
+	return fmt.Sprintf("%s/%s#%d@%d+%d:%s", p.File, p.Func, p.ListIndex, p.Start, p.N, p.Spec)
+}
+
+// StmtList is an addressable statement list inside a parsed file, in
+// deterministic DFS order. The same source always yields the same list
+// ordering, so ListIndex survives a re-parse.
+type StmtList struct {
+	Ptr  *[]ast.Stmt
+	Func string
+}
+
+// CollectLists returns every statement list in the file in deterministic
+// order: function bodies first (in declaration order), then nested lists
+// (if/else/for/range/switch-case bodies) depth-first.
+func CollectLists(f *ast.File) []StmtList {
+	var lists []StmtList
+	var walkStmts func(fn string, ptr *[]ast.Stmt)
+	var walkStmt func(fn string, s ast.Stmt)
+
+	walkStmts = func(fn string, ptr *[]ast.Stmt) {
+		lists = append(lists, StmtList{Ptr: ptr, Func: fn})
+		for _, s := range *ptr {
+			walkStmt(fn, s)
+			// Function-literal bodies hang off expressions (deferred
+			// closures, callbacks); their statement lists are injection
+			// targets too.
+			for _, fl := range funcLitsInStmtExprs(s) {
+				walkStmts(fn, &fl.Body.List)
+			}
+		}
+	}
+	walkStmt = func(fn string, s ast.Stmt) {
+		switch st := s.(type) {
+		case *ast.BlockStmt:
+			walkStmts(fn, &st.List)
+		case *ast.IfStmt:
+			walkStmts(fn, &st.Body.List)
+			if st.Else != nil {
+				walkStmt(fn, st.Else)
+			}
+		case *ast.ForStmt:
+			walkStmts(fn, &st.Body.List)
+		case *ast.RangeStmt:
+			walkStmts(fn, &st.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(fn, &cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(fn, &cc.Body)
+				}
+			}
+		case *ast.LabeledStmt:
+			walkStmt(fn, st.Stmt)
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkStmts(fn, &cc.Body)
+				}
+			}
+		}
+	}
+
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		walkStmts(funcDisplayName(fd), &fd.Body.List)
+	}
+	return lists
+}
+
+// funcLitsInStmtExprs finds function literals directly contained in a
+// statement's expressions, without descending into nested statement blocks
+// (those are visited separately, so stopping at BlockStmt avoids
+// double-counting).
+func funcLitsInStmtExprs(s ast.Stmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.BlockStmt:
+			return false
+		case *ast.FuncLit:
+			out = append(out, nn)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	if se, ok := recv.(*ast.StarExpr); ok {
+		recv = se.X
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// ParseSource parses one target source file.
+func ParseSource(fset *token.FileSet, filename string, src []byte) (*ast.File, error) {
+	f, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", filename, err)
+	}
+	return f, nil
+}
+
+// ScanFile finds all matches of the given meta-models in a parsed file.
+// Matches are enumerated deterministically: per spec, per statement list
+// (DFS order), per start index.
+func ScanFile(fset *token.FileSet, filename string, f *ast.File, specs []*pattern.MetaModel) []InjectionPoint {
+	lists := CollectLists(f)
+	var points []InjectionPoint
+	for _, mm := range specs {
+		for li, sl := range lists {
+			stmts := *sl.Ptr
+			for start := 0; start < len(stmts); start++ {
+				n, _, ok := mm.MatchPrefix(stmts, start)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(stmts[start].Pos())
+				snippet := pattern.StmtString(fset, stmts[start])
+				if len(snippet) > 120 {
+					snippet = snippet[:120] + "..."
+				}
+				points = append(points, InjectionPoint{
+					Spec:      mm.Name,
+					File:      filename,
+					Func:      sl.Func,
+					ListIndex: li,
+					Start:     start,
+					N:         n,
+					Line:      pos.Line,
+					Snippet:   snippet,
+				})
+			}
+		}
+	}
+	return points
+}
+
+// ScanSource parses and scans one source file in a single call.
+func ScanSource(filename string, src []byte, specs []*pattern.MetaModel) ([]InjectionPoint, error) {
+	fset := token.NewFileSet()
+	f, err := ParseSource(fset, filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return ScanFile(fset, filename, f, specs), nil
+}
+
+// ScanProject scans a set of named source files (filename -> contents)
+// with a set of specs. Files are processed in sorted-name order so the
+// resulting plan is deterministic.
+func ScanProject(files map[string][]byte, specs []*pattern.MetaModel) ([]InjectionPoint, error) {
+	names := sortedKeys(files)
+	var all []InjectionPoint
+	for _, name := range names {
+		pts, err := ScanSource(name, files[name], specs)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, pts...)
+	}
+	return all, nil
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

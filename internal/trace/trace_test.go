@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderOrdersSpans(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Span{Name: "b", StartNS: 200, EndNS: 300})
+	r.Record(Span{Name: "a", StartNS: 100, EndNS: 150})
+	spans := r.Spans()
+	if len(spans) != 2 || spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if spans[0].Duration() != 50 {
+		t.Errorf("duration = %d", spans[0].Duration())
+	}
+}
+
+func TestJSONDump(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Span{Name: "GET /v2/keys/a", Component: "urllib", StartNS: 0, EndNS: 2_000_000})
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var spans []Span
+	if err := json.Unmarshal(data, &spans); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Name != "GET /v2/keys/a" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestTimelineRendersBarsAndErrors(t *testing.T) {
+	spans := []Span{
+		{Name: "set", Component: "urllib", StartNS: 0, EndNS: 500},
+		{Name: "get", Component: "urllib", StartNS: 500, EndNS: 1000, Err: "status 404"},
+	}
+	out := Timeline(spans, 40)
+	if !strings.Contains(out, "urllib/set") || !strings.Contains(out, "urllib/get") {
+		t.Fatalf("timeline missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "=") {
+		t.Error("timeline missing ok bar")
+	}
+	if !strings.Contains(out, "!") || !strings.Contains(out, "status 404") {
+		t.Error("timeline missing error marker")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 spans
+		t.Errorf("timeline lines = %d, want 3\n%s", len(lines), out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if out := Timeline(nil, 40); !strings.Contains(out, "no spans") {
+		t.Errorf("empty timeline = %q", out)
+	}
+}
+
+func TestTimelineZeroDurationSpan(t *testing.T) {
+	out := Timeline([]Span{{Name: "x", Component: "c", StartNS: 5, EndNS: 5}}, 10)
+	if !strings.Contains(out, "c/x") {
+		t.Errorf("timeline = %q", out)
+	}
+}

@@ -1,0 +1,146 @@
+// Package workload implements ProFIPy's experiment execution protocol
+// (§IV-B): the user-configured workload exercises the (mutated) target
+// software inside a container for two rounds — round 1 with the injected
+// fault enabled through the shared-memory trigger, round 2 with it
+// disabled and without redeploying — under a virtual-time timeout.
+// Round 2's outcome feeds the service availability analysis.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"profipy/internal/interp"
+	"profipy/internal/sandbox"
+)
+
+// Config describes how to exercise the target software.
+type Config struct {
+	// Entry is the workload entry function (e.g. "Workload").
+	Entry string
+	// Files are container paths of the sources to load, in load order.
+	Files []string
+	// TimeoutNS is the virtual deadline per round; expiring counts as a
+	// hang (the paper's worst-case 120s experiments).
+	TimeoutNS int64
+	// MaxSteps bounds real work per round.
+	MaxSteps int64
+	// Env installs host modules and hooks on each round's interpreter
+	// (the kvclient environment, for the case study).
+	Env func(it *interp.Interp, c *sandbox.Container)
+	// Rounds is the number of workload rounds; 0 selects the paper's
+	// two-round protocol.
+	Rounds int
+	// FaultFree keeps the trigger disabled in every round (used by the
+	// coverage analysis pass and by golden runs).
+	FaultFree bool
+}
+
+// RoundResult is the outcome of one workload round.
+type RoundResult struct {
+	OK        bool   `json:"ok"`
+	Crash     bool   `json:"crash"`
+	Timeout   bool   `json:"timeout"`
+	Exception string `json:"exception,omitempty"`
+	Message   string `json:"message,omitempty"`
+	VirtualNS int64  `json:"virtualNs"`
+	Steps     int64  `json:"steps"`
+}
+
+// Failed reports whether the round ended in a service failure.
+func (r RoundResult) Failed() bool { return !r.OK }
+
+// Result is the outcome of one experiment: the per-round results plus
+// the collected logs (system logs, workload logs) for data analysis.
+type Result struct {
+	Rounds []RoundResult     `json:"rounds"`
+	Logs   map[string]string `json:"logs"`
+}
+
+// Round1 returns the fault-enabled round's result.
+func (r *Result) Round1() RoundResult { return r.Rounds[0] }
+
+// Round2 returns the fault-disabled round's result (valid when the
+// two-round protocol ran).
+func (r *Result) Round2() RoundResult {
+	if len(r.Rounds) < 2 {
+		return RoundResult{}
+	}
+	return r.Rounds[1]
+}
+
+// Run executes the experiment protocol in a container whose filesystem
+// already holds the (mutated) target sources.
+func Run(c *sandbox.Container, cfg Config) (*Result, error) {
+	if cfg.Entry == "" {
+		return nil, fmt.Errorf("workload: no entry function configured")
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 2
+	}
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	defer c.Exit()
+
+	res := &Result{Logs: map[string]string{}}
+	for i := 0; i < rounds; i++ {
+		// Round 1 runs with the fault enabled, later rounds disabled.
+		c.SetTrigger(i == 0 && !cfg.FaultFree)
+		rr, err := runRound(c, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = append(res.Rounds, rr)
+	}
+	for _, name := range c.LogNames() {
+		res.Logs[name] = c.LogContents(name)
+	}
+	return res, nil
+}
+
+// runRound executes one workload round on a fresh interpreter; container
+// state (filesystem, server, logs, contention) persists across rounds.
+func runRound(c *sandbox.Container, cfg Config) (RoundResult, error) {
+	it := interp.New(interp.Config{
+		DeadlineNS: cfg.TimeoutNS,
+		MaxSteps:   cfg.MaxSteps,
+		Stdout:     c.Log("stdout"),
+	})
+	if cfg.Env != nil {
+		cfg.Env(it, c)
+	}
+	for _, f := range cfg.Files {
+		src, err := c.FS.Read(f)
+		if err != nil {
+			return RoundResult{}, fmt.Errorf("workload: missing target file %s: %w", f, err)
+		}
+		if err := it.LoadSource(f, src); err != nil {
+			// A mutated source that no longer loads is an experiment
+			// infrastructure error, not a target failure.
+			return RoundResult{}, fmt.Errorf("workload: %w", err)
+		}
+	}
+	_, err := it.Call(cfg.Entry)
+	rr := RoundResult{VirtualNS: it.Clock(), Steps: it.Steps()}
+	switch {
+	case err == nil:
+		rr.OK = true
+	case errors.Is(err, interp.ErrTimeout), errors.Is(err, interp.ErrSteps):
+		rr.Timeout = true
+		rr.Message = "workload timeout (hang)"
+	default:
+		var pe *interp.PanicError
+		if errors.As(err, &pe) {
+			rr.Crash = true
+			rr.Message = err.Error()
+			if exc, ok := pe.Exception(); ok {
+				rr.Exception = exc.Type
+			}
+		} else {
+			return RoundResult{}, err
+		}
+	}
+	return rr, nil
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"profipy/internal/interp"
+	"profipy/internal/sandbox"
+)
+
+func newContainer(files map[string][]byte) (*sandbox.Runtime, *sandbox.Container) {
+	rt := sandbox.NewRuntime(sandbox.RuntimeConfig{Cores: 2, Seed: 3})
+	return rt, rt.Create(sandbox.Image{Name: "t", Files: files})
+}
+
+func env(it *interp.Interp, c *sandbox.Container) { sandbox.InstallHooks(it, c) }
+
+func TestTwoRoundProtocol(t *testing.T) {
+	// A target that fails while the fault trigger is on and recovers
+	// when it is off.
+	src := []byte(`package main
+
+func Workload() any {
+	if __fault_enabled() {
+		panic(__exc("Boom", "fault active"))
+	}
+	return "ok"
+}`)
+	_, c := newContainer(map[string][]byte{"w.go": src})
+	res, err := Run(c, Config{Entry: "Workload", Files: []string{"w.go"}, Env: env})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(res.Rounds))
+	}
+	r1, r2 := res.Round1(), res.Round2()
+	if r1.OK || !r1.Crash || r1.Exception != "Boom" {
+		t.Errorf("round 1 = %+v, want Boom crash", r1)
+	}
+	if !r2.OK {
+		t.Errorf("round 2 = %+v, want recovery once fault disabled", r2)
+	}
+	if c.State() != sandbox.StateExited {
+		t.Errorf("container state = %v", c.State())
+	}
+}
+
+func TestPersistentErrorStateAcrossRounds(t *testing.T) {
+	// Error states from round 1 persist into round 2 via the container
+	// env/filesystem (here: a leaked file), the unavailability scenario.
+	src := []byte(`package main
+
+import "state"
+
+func Workload() any {
+	if __fault_enabled() {
+		state.Corrupt()
+		panic(__exc("Boom", "corrupting"))
+	}
+	if state.IsCorrupt() {
+		panic(__exc("StillBroken", "state persisted"))
+	}
+	return "ok"
+}`)
+	_, c := newContainer(map[string][]byte{"w.go": src})
+	cfg := Config{Entry: "Workload", Files: []string{"w.go"}, Env: func(it *interp.Interp, ctr *sandbox.Container) {
+		sandbox.InstallHooks(it, ctr)
+		mod := interp.NewModule("state")
+		mod.Func("Corrupt", func(it *interp.Interp, args []interp.Value) (interp.Value, error) {
+			ctr.PutEnv("corrupt", true)
+			return nil, nil
+		})
+		mod.Func("IsCorrupt", func(it *interp.Interp, args []interp.Value) (interp.Value, error) {
+			_, ok := ctr.GetEnv("corrupt")
+			return ok, nil
+		})
+		it.RegisterModule(mod)
+	}}
+	res, err := Run(c, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Round2().OK {
+		t.Error("round 2 should observe the persisted error state")
+	}
+	if res.Round2().Exception != "StillBroken" {
+		t.Errorf("round 2 exception = %q", res.Round2().Exception)
+	}
+}
+
+func TestTimeoutDetection(t *testing.T) {
+	src := []byte(`package main
+
+func Workload() any {
+	if __fault_enabled() {
+		for {
+		}
+	}
+	return "ok"
+}`)
+	_, c := newContainer(map[string][]byte{"w.go": src})
+	res, err := Run(c, Config{
+		Entry: "Workload", Files: []string{"w.go"}, Env: env,
+		TimeoutNS: 50_000_000, // 50ms virtual
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Round1().Timeout {
+		t.Errorf("round 1 = %+v, want timeout", res.Round1())
+	}
+	if !res.Round2().OK {
+		t.Errorf("round 2 = %+v, want ok", res.Round2())
+	}
+}
+
+func TestLogsCollected(t *testing.T) {
+	src := []byte(`package main
+
+func Workload() any {
+	__log("client", "ERROR something")
+	return "ok"
+}`)
+	_, c := newContainer(map[string][]byte{"w.go": src})
+	res, err := Run(c, Config{Entry: "Workload", Files: []string{"w.go"}, Env: env})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !strings.Contains(res.Logs["client"], "ERROR something") {
+		t.Errorf("logs = %v", res.Logs)
+	}
+}
+
+func TestMissingEntryAndFiles(t *testing.T) {
+	_, c := newContainer(map[string][]byte{})
+	if _, err := Run(c, Config{Files: []string{"w.go"}}); err == nil {
+		t.Error("missing entry should fail")
+	}
+	_, c2 := newContainer(map[string][]byte{})
+	if _, err := Run(c2, Config{Entry: "W", Files: []string{"missing.go"}}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestUnparseableMutantIsInfraError(t *testing.T) {
+	_, c := newContainer(map[string][]byte{"w.go": []byte("not valid go")})
+	if _, err := Run(c, Config{Entry: "W", Files: []string{"w.go"}, Env: env}); err == nil {
+		t.Error("unparseable source should surface as an infrastructure error")
+	}
+}
+
+func TestSingleRoundConfig(t *testing.T) {
+	src := []byte(`package main
+
+func Workload() any {
+	return "ok"
+}`)
+	_, c := newContainer(map[string][]byte{"w.go": src})
+	res, err := Run(c, Config{Entry: "Workload", Files: []string{"w.go"}, Env: env, Rounds: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Errorf("rounds = %d, want 1", len(res.Rounds))
+	}
+	if r2 := res.Round2(); r2.OK {
+		t.Errorf("round 2 of single-round run should be zero value, got %+v", r2)
+	}
+}
+
+func TestVirtualTimeReported(t *testing.T) {
+	src := []byte(`package main
+
+func Workload() any {
+	__delay(5000)
+	return "ok"
+}`)
+	_, c := newContainer(map[string][]byte{"w.go": src})
+	res, err := Run(c, Config{Entry: "Workload", Files: []string{"w.go"}, Env: env})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Round1().VirtualNS < 5_000_000_000 {
+		t.Errorf("virtual time = %d, want >= 5s", res.Round1().VirtualNS)
+	}
+}
