@@ -13,9 +13,12 @@
 //	E-D4 BenchmarkParallelExperiments   §V-D  N−1 parallel containers
 //	     BenchmarkAblationTrigger       trigger-wrap overhead (design ablation)
 //	     BenchmarkAblationCoverage      coverage-pruned vs full plans
+//	     BenchmarkSchedulerThroughput   async campaign jobs/s vs pool size
+//	     BenchmarkSchedulerOverhead     queue+pool cost with no-op jobs
 package profipy
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -25,6 +28,7 @@ import (
 	"profipy/internal/kvclient"
 	"profipy/internal/sandbox"
 	"profipy/internal/scanner"
+	"profipy/internal/scheduler"
 	"profipy/internal/workload"
 )
 
@@ -335,6 +339,66 @@ func BenchmarkAblationTrigger(b *testing.B) {
 		srcs[kvclient.FileClient] = mut.Source
 		runOnce(b, srcs)
 	})
+}
+
+// BenchmarkSchedulerThroughput measures whole-campaign throughput
+// through the async scheduler as the worker pool grows: a fixed batch of
+// sampled Campaign-A jobs is enqueued and drained, reporting campaigns
+// per wall second. This is the SaaS-layer analog of E-D4 — one level up
+// from parallel experiments, we parallelize across campaigns.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	const batch = 8
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := scheduler.New(scheduler.Config{Workers: workers, QueueDepth: batch})
+				ids := make([]string, 0, batch)
+				for j := 0; j < batch; j++ {
+					seed := int64(101 + j)
+					id, err := s.Submit("bench", func(ctx context.Context, report func(scheduler.Progress)) (any, error) {
+						c := kvclient.CampaignA(NewRuntime(RuntimeConfig{Cores: 4, Seed: 20}), seed)
+						c.SampleN = 4
+						c.OnProgress = func(p campaign.Progress) {
+							report(scheduler.Progress{Phase: p.Phase, Done: p.Done, Total: p.Total})
+						}
+						return c.RunContext(ctx)
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids = append(ids, id)
+				}
+				for _, id := range ids {
+					if st, _ := s.Wait(id); st.State != scheduler.Done {
+						b.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+					}
+				}
+				s.Close()
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "campaigns/s")
+			b.ReportMetric(float64(workers), "workers")
+		})
+	}
+}
+
+// BenchmarkSchedulerOverhead isolates the queue + worker-pool cost by
+// draining no-op jobs: the jobs/s ceiling the scheduling layer itself
+// imposes on campaign throughput.
+func BenchmarkSchedulerOverhead(b *testing.B) {
+	s := scheduler.New(scheduler.Config{Workers: 4, QueueDepth: 1, Retain: 1})
+	defer s.Close()
+	noop := func(ctx context.Context, report func(scheduler.Progress)) (any, error) { return nil, nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := s.Submit("noop", noop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st, _ := s.Wait(id); st.State != scheduler.Done {
+			b.Fatalf("job %s: %s", id, st.State)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // BenchmarkAblationCoverage compares campaign cost with and without the

@@ -1,20 +1,26 @@
 // Command profipyd serves ProFIPy as-a-service: an HTTP/JSON API for
 // uploading target projects, registering fault models, running fault
 // injection campaigns and retrieving failure-analysis reports.
+// Campaigns are scheduled asynchronously on a bounded job queue drained
+// by a worker pool; clients poll jobs for streaming progress.
 //
-//	profipyd -addr :8080 -cores 8
+//	profipyd -addr :8080 -cores 8 -workers 2 -queue 64 -retain 256
 //
 // Endpoints (see internal/saas):
 //
-//	POST /api/v1/projects            upload a project
-//	GET  /api/v1/projects            list projects
-//	POST /api/v1/faultmodels         register a fault model (JSON DSL)
-//	GET  /api/v1/faultmodels         list models
-//	GET  /api/v1/faultmodels/{name}  fetch a model
-//	POST /api/v1/campaigns           run a campaign
-//	GET  /api/v1/campaigns           list finished campaigns
-//	GET  /api/v1/campaigns/{id}      campaign report (JSON)
-//	GET  /api/v1/campaigns/{id}/text campaign report (text)
+//	POST   /api/v1/projects            upload a project
+//	GET    /api/v1/projects            list projects
+//	POST   /api/v1/faultmodels         register a fault model (JSON DSL)
+//	GET    /api/v1/faultmodels         list models
+//	GET    /api/v1/faultmodels/{name}  fetch a model
+//	POST   /api/v1/campaigns           enqueue a campaign → 202 {job}
+//	                                   (?wait=true blocks → 201 {id, report})
+//	GET    /api/v1/campaigns           list finished campaigns
+//	GET    /api/v1/campaigns/{id}      campaign report (JSON)
+//	GET    /api/v1/campaigns/{id}/text campaign report (text)
+//	GET    /api/v1/jobs                list campaign jobs
+//	GET    /api/v1/jobs/{id}           job status + live progress
+//	DELETE /api/v1/jobs/{id}           cancel a queued/running job
 package main
 
 import (
@@ -37,10 +43,17 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("profipyd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cores := fs.Int("cores", 4, "simulated host cores (experiments run N-1 in parallel)")
+	workers := fs.Int("workers", 2, "campaign scheduler worker pool size")
+	queue := fs.Int("queue", 64, "max queued campaign jobs before 503")
+	retain := fs.Int("retain", 256, "finished jobs kept for polling")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := saas.NewServer(*cores)
-	fmt.Printf("profipyd listening on %s (demo project: %s)\n", *addr, saas.DemoProjectID)
+	srv := saas.NewServerWithOptions(saas.Options{
+		Cores: *cores, Workers: *workers, QueueDepth: *queue, RetainJobs: *retain,
+	})
+	defer srv.Close()
+	fmt.Printf("profipyd listening on %s (demo project: %s, %d campaign workers)\n",
+		*addr, saas.DemoProjectID, *workers)
 	return http.ListenAndServe(*addr, srv.Handler())
 }

@@ -13,6 +13,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"profipy/internal/saas"
 )
@@ -26,7 +27,9 @@ func main() {
 func run() error {
 	// Start the service (in-process listener; `profipyd -addr :8080`
 	// serves the same handler over a real port).
-	ts := httptest.NewServer(saas.NewServer(4).Handler())
+	srv := saas.NewServer(4)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	fmt.Println("profipyd serving at", ts.URL)
 
@@ -54,29 +57,81 @@ change {
 	}
 	fmt.Println("registered fault model lock-faults")
 
-	// 3. Launch a campaign on the demo project with the custom model.
+	// 3. Enqueue a campaign on the demo project with the custom model.
+	// The API answers immediately with a job ID; the campaign runs on
+	// the scheduler's worker pool.
 	req, err := saas.DemoCampaignRequest("A", 42)
 	if err != nil {
 		return err
 	}
 	req.Specs = nil
 	req.Model = "lock-faults"
-	var out struct {
-		ID     string          `json:"id"`
-		Report json.RawMessage `json:"report"`
+	var submitted struct {
+		Job string `json:"job"`
 	}
-	if err := postJSON(ts.URL+"/api/v1/campaigns", req, &out); err != nil {
-		return fmt.Errorf("run campaign: %w", err)
+	if err := postJSON(ts.URL+"/api/v1/campaigns", req, &submitted); err != nil {
+		return fmt.Errorf("enqueue campaign: %w", err)
 	}
-	fmt.Println("campaign finished:", out.ID)
+	fmt.Println("campaign enqueued as", submitted.Job)
 
-	// 4. Fetch the human-readable report.
-	text, err := getText(ts.URL + "/api/v1/campaigns/" + out.ID + "/text")
+	// 4. Poll the job for streaming progress until it reaches a
+	// terminal state.
+	job, err := pollJob(ts.URL, submitted.Job)
+	if err != nil {
+		return err
+	}
+	if job.State != "done" {
+		return fmt.Errorf("job %s ended %s: %s", job.ID, job.State, job.Error)
+	}
+	fmt.Println("campaign finished:", job.Campaign)
+
+	// 5. Fetch the human-readable report.
+	text, err := getText(ts.URL + "/api/v1/campaigns/" + job.Campaign + "/text")
 	if err != nil {
 		return err
 	}
 	fmt.Println(text)
 	return nil
+}
+
+// jobStatus mirrors the saas.JobStatus JSON shape.
+type jobStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Campaign string `json:"campaign"`
+	Error    string `json:"error"`
+	Progress struct {
+		Phase string `json:"phase"`
+		Done  int    `json:"done"`
+		Total int    `json:"total"`
+	} `json:"progress"`
+}
+
+// pollJob polls GET /api/v1/jobs/{id}, printing progress transitions,
+// until the job is terminal.
+func pollJob(base, id string) (jobStatus, error) {
+	var last string
+	for {
+		var job jobStatus
+		body, err := getText(base + "/api/v1/jobs/" + id)
+		if err != nil {
+			return job, err
+		}
+		if err := json.Unmarshal([]byte(body), &job); err != nil {
+			return job, err
+		}
+		line := fmt.Sprintf("job %s: %s %s %d/%d experiments",
+			job.ID, job.State, job.Progress.Phase, job.Progress.Done, job.Progress.Total)
+		if line != last {
+			fmt.Println(line)
+			last = line
+		}
+		switch job.State {
+		case "done", "failed", "canceled":
+			return job, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func postJSON(url string, body any, out any) error {

@@ -1,0 +1,3 @@
+module profipy
+
+go 1.24

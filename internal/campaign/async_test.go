@@ -1,0 +1,95 @@
+// Tests for the scheduler-facing campaign surface: progress reporting
+// and context cancellation threaded through RunContext.
+package campaign_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"profipy/internal/campaign"
+	"profipy/internal/kvclient"
+)
+
+func TestRunContextReportsPhaseOrderAndProgress(t *testing.T) {
+	c := kvclient.CampaignA(newRuntime(), 808)
+	c.SampleN = 5
+	var mu sync.Mutex
+	var snaps []campaign.Progress
+	c.OnProgress = func(p campaign.Progress) {
+		mu.Lock()
+		snaps = append(snaps, p)
+		mu.Unlock()
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress reported")
+	}
+	// Phases arrive in workflow order.
+	order := map[string]int{
+		campaign.PhaseScan: 0, campaign.PhaseCoverage: 1,
+		campaign.PhaseExecute: 2, campaign.PhaseAnalyze: 3,
+	}
+	if snaps[0].Phase != campaign.PhaseScan {
+		t.Errorf("first phase = %s, want scan", snaps[0].Phase)
+	}
+	if last := snaps[len(snaps)-1]; last.Phase != campaign.PhaseAnalyze {
+		t.Errorf("last phase = %s, want analyze", last.Phase)
+	}
+	prev := 0
+	execDone := -1
+	for _, p := range snaps {
+		rank, ok := order[p.Phase]
+		if !ok {
+			t.Fatalf("unknown phase %q", p.Phase)
+		}
+		if rank < prev {
+			t.Fatalf("phase %s after rank %d: out of order", p.Phase, prev)
+		}
+		prev = rank
+		if p.Phase == campaign.PhaseExecute {
+			// Done counters of the execute phase are monotonic (the
+			// callback serializes per experiment via the atomic add).
+			if p.Done < execDone {
+				t.Fatalf("execute progress went backwards: %d after %d", p.Done, execDone)
+			}
+			execDone = p.Done
+			if p.Total != 5 {
+				t.Errorf("execute total = %d, want 5 (sampled)", p.Total)
+			}
+		}
+	}
+	if execDone != 5 {
+		t.Errorf("final execute done = %d, want 5", execDone)
+	}
+}
+
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := kvclient.CampaignA(newRuntime(), 909)
+	_, err := c.RunContext(ctx)
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCanceledMidExecution(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := kvclient.CampaignB(newRuntime(), 111)
+	var once sync.Once
+	c.OnProgress = func(p campaign.Progress) {
+		// Cancel as soon as the first experiment completes; the
+		// remaining ones must be skipped.
+		if p.Phase == campaign.PhaseExecute && p.Done >= 1 {
+			once.Do(cancel)
+		}
+	}
+	_, err := c.RunContext(ctx)
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -6,7 +6,9 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"profipy/internal/analysis"
@@ -52,6 +54,33 @@ type Campaign struct {
 	// enable span recording (the kvclient campaign passes
 	// kvclient.EnableTracing).
 	TraceHook func(c *sandbox.Container)
+	// OnProgress, when set, is called as the workflow advances: once per
+	// phase transition and once per completed experiment. Experiments run
+	// in parallel, so the callback must be safe for concurrent use.
+	OnProgress func(Progress)
+}
+
+// Phase names reported through OnProgress, in workflow order.
+const (
+	PhaseScan     = "scan"
+	PhaseCoverage = "coverage"
+	PhaseExecute  = "execute"
+	PhaseAnalyze  = "analyze"
+)
+
+// Progress is a point-in-time snapshot of campaign advancement. Done and
+// Total count experiments of the execution phase; both are zero until the
+// plan is built.
+type Progress struct {
+	Phase string `json:"phase"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+func (c *Campaign) progress(phase string, done, total int) {
+	if c.OnProgress != nil {
+		c.OnProgress(Progress{Phase: phase, Done: done, Total: total})
+	}
 }
 
 // Result is the outcome of a campaign run.
@@ -69,14 +98,26 @@ type Result struct {
 
 // Run executes the full workflow.
 func (c *Campaign) Run() (*Result, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes the full workflow under ctx. Cancellation is
+// honored between phases and between experiments: already-running
+// experiments finish, pending ones are skipped, and the ctx error is
+// returned.
+func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	if len(c.Files) == 0 {
 		return nil, fmt.Errorf("campaign %s: no target files", c.Name)
 	}
 	if c.Runtime == nil {
 		return nil, fmt.Errorf("campaign %s: no runtime", c.Name)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
 
 	// --- Scan phase ---
+	c.progress(PhaseScan, 0, 0)
 	scanStart := time.Now()
 	scanFiles := c.scanSubset()
 	pl, err := plan.Build(scanFiles, c.Faultload)
@@ -87,8 +128,12 @@ func (c *Campaign) Run() (*Result, error) {
 		pl = pl.Sample(c.SampleN, c.Seed)
 	}
 	res := &Result{Plan: pl, ScanTime: time.Since(scanStart)}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
 
 	// --- Coverage analysis (fault-free instrumented run) ---
+	c.progress(PhaseCoverage, 0, len(pl.Points))
 	covStart := time.Now()
 	covered, err := coverage.Analyze(c.Runtime, c.Image, c.Files, pl.Points, c.Workload)
 	if err != nil {
@@ -101,15 +146,25 @@ func (c *Campaign) Run() (*Result, error) {
 	if c.ReducePlan {
 		execPoints = coverage.Reduce(pl.Points, covered)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
 
 	// --- Execution phase (parallel containers, N−1 rule) ---
 	models, err := compileByName(c.Faultload)
 	if err != nil {
 		return nil, err
 	}
+	c.progress(PhaseExecute, 0, len(execPoints))
 	execStart := time.Now()
+	var done atomic.Int64
 	records := sandbox.RunBatch(c.Runtime, c.Image, len(execPoints), func(i int) analysis.Record {
-		return c.runExperiment(execPoints[i], models, pl, covered, int64(i))
+		if ctx.Err() != nil {
+			return analysis.Record{Point: execPoints[i], FaultType: pl.TypeOf(execPoints[i])}
+		}
+		rec := c.runExperiment(execPoints[i], models, pl, covered, int64(i))
+		c.progress(PhaseExecute, int(done.Add(1)), len(execPoints))
+		return rec
 	})
 	res.ExecTime = time.Since(execStart)
 	res.Records = records
@@ -118,8 +173,12 @@ func (c *Campaign) Run() (*Result, error) {
 			res.Errors++
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
 
 	// --- Data analysis phase ---
+	c.progress(PhaseAnalyze, len(execPoints), len(execPoints))
 	report, err := analysis.BuildReport(records, c.Analysis)
 	if err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)

@@ -1,0 +1,323 @@
+// End-to-end tests for the asynchronous campaign job API: enqueue,
+// streaming progress, concurrent completion, cancellation, and
+// backpressure, all driven through the HTTP handler.
+//
+// Campaigns on this hardware can finish in milliseconds, so tests that
+// need to observe a job mid-flight do not race the worker pool: they
+// install Server.testProgressHook, which blocks the campaign inside its
+// progress callback until the test releases it.
+package saas
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"profipy/internal/campaign"
+	"profipy/internal/scheduler"
+)
+
+func newAsyncTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServerWithOptions(opt)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	return srv, ts
+}
+
+// installGate stalls every campaign progress update until the returned
+// release function is called (idempotent; also runs at cleanup so a
+// failing test cannot deadlock Server.Close). The started channel gets
+// one signal per stalled update.
+func installGate(t *testing.T, srv *Server) (started chan campaign.Progress, release func()) {
+	t.Helper()
+	started = make(chan campaign.Progress, 64)
+	gate := make(chan struct{})
+	var once sync.Once
+	release = func() { once.Do(func() { close(gate) }) }
+	t.Cleanup(release) // registered after srv.Close's cleanup → runs first
+	srv.testProgressHook = func(p campaign.Progress) {
+		select {
+		case started <- p:
+		default:
+		}
+		<-gate
+	}
+	return started, release
+}
+
+func getJob(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	code, body := getBody(t, base+"/api/v1/jobs/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("GET job %s = %d: %s", id, code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("job json: %v: %s", err, body)
+	}
+	return st
+}
+
+func deleteJob(t *testing.T, base, id string) (int, JobStatus) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/api/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	_ = json.NewDecoder(resp.Body).Decode(&st)
+	return resp.StatusCode, st
+}
+
+func submitDemo(t *testing.T, base string, sampleN int) string {
+	t.Helper()
+	req, err := DemoCampaignRequest("A", 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.SampleN = sampleN
+	resp, out := postJSON(t, base+"/api/v1/campaigns", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("enqueue status = %d: %v", resp.StatusCode, out)
+	}
+	var jobID string
+	_ = json.Unmarshal(out["job"], &jobID)
+	if jobID == "" {
+		t.Fatalf("no job id in %v", out)
+	}
+	return jobID
+}
+
+// pollUntilTerminal polls the job, collecting every snapshot, and fails
+// the test if state or progress ever moves backwards.
+func pollUntilTerminal(t *testing.T, base, id string) (JobStatus, []JobStatus) {
+	t.Helper()
+	rank := map[scheduler.State]int{
+		scheduler.Queued: 0, scheduler.Running: 1,
+		scheduler.Done: 2, scheduler.Failed: 2, scheduler.Canceled: 2,
+	}
+	var snaps []JobStatus
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st := getJob(t, base, id)
+		if n := len(snaps); n > 0 {
+			prev := snaps[n-1]
+			if rank[st.State] < rank[prev.State] {
+				t.Fatalf("state went backwards: %s after %s", st.State, prev.State)
+			}
+			if st.Progress.Done < prev.Progress.Done {
+				t.Fatalf("progress went backwards: %d after %d", st.Progress.Done, prev.Progress.Done)
+			}
+		}
+		snaps = append(snaps, st)
+		if st.State.Terminal() {
+			return st, snaps
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %+v", id, st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAsyncJobLifecycle(t *testing.T) {
+	srv, ts := newAsyncTestServer(t, Options{Cores: 4})
+	started, release := installGate(t, srv)
+	jobID := submitDemo(t, ts.URL, 0) // full 26-point campaign
+
+	// The campaign is stalled at its first progress update (scan phase):
+	// the job must be observably running with intermediate progress.
+	<-started
+	mid := getJob(t, ts.URL, jobID)
+	if mid.State != scheduler.Running {
+		t.Fatalf("stalled job = %s, want running", mid.State)
+	}
+	if mid.Progress.Phase != campaign.PhaseScan {
+		t.Errorf("stalled phase = %q, want scan", mid.Progress.Phase)
+	}
+	if mid.StartedMS == 0 || mid.FinishedMS != 0 {
+		t.Errorf("intermediate timestamps = %+v", mid)
+	}
+	release()
+
+	final, _ := pollUntilTerminal(t, ts.URL, jobID)
+	if final.State != scheduler.Done {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	if final.Campaign == "" {
+		t.Fatal("done job has no campaign id")
+	}
+	if final.Progress.Total == 0 || final.Progress.Done != final.Progress.Total {
+		t.Fatalf("final progress = %+v, want done == total > 0", final.Progress)
+	}
+	if _, ok := final.PhaseMillis["execute"]; !ok {
+		t.Errorf("phaseMillis missing execute: %v", final.PhaseMillis)
+	}
+	if final.EnqueuedMS == 0 || final.StartedMS == 0 || final.FinishedMS == 0 {
+		t.Errorf("missing lifecycle timestamps: %+v", final)
+	}
+
+	// The finished campaign is fetchable through the classic API.
+	code, body := getBody(t, ts.URL+"/api/v1/campaigns/"+final.Campaign)
+	if code != http.StatusOK {
+		t.Fatalf("campaign fetch = %d: %s", code, body)
+	}
+	// And the job shows up in the listing.
+	code, body = getBody(t, ts.URL+"/api/v1/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("job list = %d", code)
+	}
+	var list []JobStatus
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, st := range list {
+		if st.ID == jobID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("job %s not in list %s", jobID, body)
+	}
+}
+
+func TestIntermediateExecuteProgress(t *testing.T) {
+	srv, ts := newAsyncTestServer(t, Options{Cores: 4})
+	// Stall only execute-phase updates: every experiment worker blocks
+	// right after reporting its completed experiment, so the job shows
+	// a partial done counter while the campaign is provably unfinished.
+	started := make(chan campaign.Progress, 64)
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	t.Cleanup(release)
+	srv.testProgressHook = func(p campaign.Progress) {
+		if p.Phase == campaign.PhaseExecute && p.Done >= 1 {
+			select {
+			case started <- p:
+			default:
+			}
+			<-gate
+		}
+	}
+	jobID := submitDemo(t, ts.URL, 0) // 26 points
+	<-started
+	mid := getJob(t, ts.URL, jobID)
+	if mid.State != scheduler.Running {
+		t.Fatalf("state = %s, want running", mid.State)
+	}
+	if mid.Progress.Phase != campaign.PhaseExecute {
+		t.Fatalf("phase = %q, want execute", mid.Progress.Phase)
+	}
+	if mid.Progress.Done < 1 || mid.Progress.Done >= mid.Progress.Total {
+		t.Fatalf("intermediate progress = %d/%d, want 0 < done < total",
+			mid.Progress.Done, mid.Progress.Total)
+	}
+	release()
+	if final, _ := pollUntilTerminal(t, ts.URL, jobID); final.State != scheduler.Done {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+}
+
+func TestConcurrentCampaignsBothComplete(t *testing.T) {
+	_, ts := newAsyncTestServer(t, Options{Cores: 4, Workers: 2})
+	a := submitDemo(t, ts.URL, 8)
+	b := submitDemo(t, ts.URL, 8)
+	finalA, _ := pollUntilTerminal(t, ts.URL, a)
+	finalB, _ := pollUntilTerminal(t, ts.URL, b)
+	if finalA.State != scheduler.Done || finalB.State != scheduler.Done {
+		t.Fatalf("states = %s / %s, want done / done", finalA.State, finalB.State)
+	}
+	if finalA.Campaign == finalB.Campaign {
+		t.Fatalf("both jobs produced campaign %s", finalA.Campaign)
+	}
+	for _, camp := range []string{finalA.Campaign, finalB.Campaign} {
+		if code, _ := getBody(t, ts.URL+"/api/v1/campaigns/"+camp); code != http.StatusOK {
+			t.Errorf("campaign %s not fetchable: %d", camp, code)
+		}
+	}
+}
+
+func TestQueuedJobObservableWhileWorkerBusy(t *testing.T) {
+	srv, ts := newAsyncTestServer(t, Options{Cores: 4, Workers: 1})
+	started, release := installGate(t, srv)
+	first := submitDemo(t, ts.URL, 4)
+	<-started // the only worker is now stalled inside the first campaign
+	second := submitDemo(t, ts.URL, 4)
+	if st := getJob(t, ts.URL, second); st.State != scheduler.Queued {
+		t.Fatalf("second job = %s, want queued while worker busy", st.State)
+	}
+	release()
+	f1, _ := pollUntilTerminal(t, ts.URL, first)
+	f2, _ := pollUntilTerminal(t, ts.URL, second)
+	if f1.State != scheduler.Done || f2.State != scheduler.Done {
+		t.Fatalf("states = %s / %s", f1.State, f2.State)
+	}
+}
+
+func TestCancelJobs(t *testing.T) {
+	srv, ts := newAsyncTestServer(t, Options{Cores: 4, Workers: 1})
+	started, release := installGate(t, srv)
+	running := submitDemo(t, ts.URL, 0)
+	<-started // worker stalled inside the first campaign
+	queued := submitDemo(t, ts.URL, 4)
+
+	code, st := deleteJob(t, ts.URL, queued)
+	if code != http.StatusAccepted || st.State != scheduler.Canceled {
+		t.Fatalf("cancel queued = %d %+v", code, st)
+	}
+	code, _ = deleteJob(t, ts.URL, running)
+	if code != http.StatusAccepted {
+		t.Fatalf("cancel running = %d", code)
+	}
+	release() // the campaign resumes, sees its canceled context, and stops
+	final, _ := pollUntilTerminal(t, ts.URL, running)
+	if final.State != scheduler.Canceled {
+		t.Fatalf("running job after cancel = %s, want canceled", final.State)
+	}
+	// A canceled job never produces a campaign.
+	if final.Campaign != "" {
+		t.Errorf("canceled job has campaign %s", final.Campaign)
+	}
+	if st := getJob(t, ts.URL, queued); st.State != scheduler.Canceled {
+		t.Fatalf("queued job after drain = %s, want canceled", st.State)
+	}
+}
+
+func TestQueueFullReturns503(t *testing.T) {
+	srv, ts := newAsyncTestServer(t, Options{Cores: 4, Workers: 1, QueueDepth: 1})
+	started, release := installGate(t, srv)
+	defer release()
+	submitDemo(t, ts.URL, 4)
+	<-started                // worker busy, queue empty
+	submitDemo(t, ts.URL, 4) // fills the single queue slot
+	req, err := DemoCampaignRequest("A", 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postJSON(t, ts.URL+"/api/v1/campaigns", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit = %d: %v", resp.StatusCode, out)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	_, ts := newAsyncTestServer(t, Options{Cores: 4})
+	if code, _ := getBody(t, ts.URL+"/api/v1/jobs/job-999"); code != http.StatusNotFound {
+		t.Fatalf("GET unknown job = %d", code)
+	}
+	if code, _ := deleteJob(t, ts.URL, "job-999"); code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job = %d", code)
+	}
+}

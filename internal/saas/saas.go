@@ -6,6 +6,7 @@
 package saas
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -20,6 +21,7 @@ import (
 	"profipy/internal/interp"
 	"profipy/internal/kvclient"
 	"profipy/internal/sandbox"
+	"profipy/internal/scheduler"
 	"profipy/internal/workload"
 )
 
@@ -71,24 +73,78 @@ type campaignRun struct {
 	text    string
 }
 
-// Server is the SaaS API server state.
+// JobStatus is the API view of a scheduled campaign job.
+type JobStatus struct {
+	ID       string             `json:"id"`
+	Project  string             `json:"project,omitempty"`
+	State    scheduler.State    `json:"state"`
+	Progress scheduler.Progress `json:"progress"`
+	// PhaseMillis holds wall time per completed workflow phase.
+	PhaseMillis map[string]int64 `json:"phaseMillis,omitempty"`
+	// Campaign is the finished campaign's ID, set once State is "done";
+	// fetch the report at /api/v1/campaigns/{campaign}.
+	Campaign   string `json:"campaign,omitempty"`
+	Error      string `json:"error,omitempty"`
+	EnqueuedMS int64  `json:"enqueuedMs,omitempty"`
+	StartedMS  int64  `json:"startedMs,omitempty"`
+	FinishedMS int64  `json:"finishedMs,omitempty"`
+}
+
+// Server is the SaaS API server state. The mutex guards the project,
+// model, and campaign maps only — it is never held across a campaign
+// run or any other long operation; campaign execution is owned by the
+// scheduler.
 type Server struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	projects  map[string]*Project
 	models    *faultmodel.Registry
 	campaigns map[string]*campaignRun
 	nextID    int
 	cores     int
+	sched     *scheduler.Scheduler
+	// testProgressHook, when set (tests only, before serving), observes
+	// every campaign progress update after it reaches the scheduler; a
+	// blocking hook stalls the campaign, which tests use to inspect
+	// intermediate job states deterministically.
+	testProgressHook func(campaign.Progress)
+}
+
+// Options sizes the server and its campaign scheduler.
+type Options struct {
+	// Cores is the simulated host core count (experiments run N−1 in
+	// parallel within one campaign).
+	Cores int
+	// Workers is the number of campaigns executed concurrently
+	// (scheduler pool size, default 2).
+	Workers int
+	// QueueDepth bounds pending campaign jobs (default 64).
+	QueueDepth int
+	// RetainJobs bounds finished jobs kept for polling (default 256).
+	RetainJobs int
 }
 
 // NewServer creates a SaaS server simulating a host with the given number
-// of cores (experiments run N−1 in parallel).
+// of cores (experiments run N−1 in parallel) and default scheduler sizing.
 func NewServer(cores int) *Server {
+	return NewServerWithOptions(Options{Cores: cores})
+}
+
+// NewServerWithOptions creates a SaaS server with explicit scheduler
+// sizing. Call Close to stop the worker pool.
+func NewServerWithOptions(opt Options) *Server {
+	if opt.Cores <= 0 {
+		opt.Cores = 4
+	}
 	s := &Server{
 		projects:  make(map[string]*Project),
 		models:    faultmodel.NewRegistry(),
 		campaigns: make(map[string]*campaignRun),
-		cores:     cores,
+		cores:     opt.Cores,
+		sched: scheduler.New(scheduler.Config{
+			Workers:    opt.Workers,
+			QueueDepth: opt.QueueDepth,
+			Retain:     opt.RetainJobs,
+		}),
 	}
 	// Preload the paper's case study as a demo project.
 	demo := &Project{ID: "demo-python-etcd", Name: "python-etcd", Files: map[string]string{}}
@@ -98,6 +154,10 @@ func NewServer(cores int) *Server {
 	s.projects[demo.ID] = demo
 	return s
 }
+
+// Close stops the campaign scheduler: running campaigns are canceled,
+// queued ones finish as canceled, and the worker pool drains.
+func (s *Server) Close() { s.sched.Close() }
 
 // Handler returns the HTTP handler exposing the API.
 func (s *Server) Handler() http.Handler {
@@ -111,6 +171,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns", s.handleListCampaigns)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleGetCampaign)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/text", s.handleGetCampaignText)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancelJob)
 	return mux
 }
 
@@ -133,8 +196,8 @@ func (s *Server) handleCreateProject(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListProjects(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]map[string]any, 0, len(s.projects))
 	ids := make([]string, 0, len(s.projects))
 	for id := range s.projects {
@@ -169,15 +232,15 @@ func (s *Server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, s.models.Names())
 }
 
 func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	m, ok := s.models.Get(r.PathValue("name"))
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such model")
 		return
@@ -185,37 +248,30 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m)
 }
 
-func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
-	var req CampaignRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad campaign json: %v", err)
-		return
-	}
-	s.mu.Lock()
+// buildCampaign validates a request and assembles the campaign to run.
+// On failure it returns an HTTP status and message for the client.
+func (s *Server) buildCampaign(req CampaignRequest) (*campaign.Campaign, string, int, string) {
+	s.mu.RLock()
 	proj, ok := s.projects[req.Project]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such project: %s", req.Project)
-		return
+		return nil, "", http.StatusNotFound, fmt.Sprintf("no such project: %s", req.Project)
 	}
 	specs := req.Specs
 	if req.Model != "" {
-		s.mu.Lock()
+		s.mu.RLock()
 		m, ok := s.models.Get(req.Model)
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		if !ok {
-			httpError(w, http.StatusNotFound, "no such fault model: %s", req.Model)
-			return
+			return nil, "", http.StatusNotFound, fmt.Sprintf("no such fault model: %s", req.Model)
 		}
 		specs = append(append([]faultmodel.Spec(nil), specs...), m.Specs...)
 	}
 	if len(specs) == 0 {
-		httpError(w, http.StatusBadRequest, "campaign needs specs or a model")
-		return
+		return nil, "", http.StatusBadRequest, "campaign needs specs or a model"
 	}
 	if req.Entry == "" {
-		httpError(w, http.StatusBadRequest, "campaign needs a workload entry function")
-		return
+		return nil, "", http.StatusBadRequest, "campaign needs a workload entry function"
 	}
 
 	files := make(map[string][]byte, len(proj.Files))
@@ -236,8 +292,7 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 
 	env := envFunc(req.Env)
 	if env == nil {
-		httpError(w, http.StatusBadRequest, "unknown env %q (want kvclient or plain)", req.Env)
-		return
+		return nil, "", http.StatusBadRequest, fmt.Sprintf("unknown env %q (want kvclient or plain)", req.Env)
 	}
 
 	c := &campaign.Campaign{
@@ -259,32 +314,129 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 		ReducePlan: req.ReducePlan,
 		Analysis:   analysis.Config{Classes: req.Classes, Components: map[string][]string{}},
 	}
-	res, err := c.Run()
-	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "campaign failed: %v", err)
-		return
-	}
+	return c, proj.Name, 0, ""
+}
 
+// storeCampaign files a finished run under a fresh campaign ID.
+func (s *Server) storeCampaign(project, projName string, res *campaign.Result) string {
 	s.mu.Lock()
 	s.nextID++
 	id := "camp-" + strconv.Itoa(s.nextID)
-	run := &campaignRun{
+	s.campaigns[id] = &campaignRun{
 		summary: CampaignSummary{
-			ID: id, Project: req.Project,
+			ID: id, Project: project,
 			Points: res.Report.Total, Covered: res.Report.Covered, Failures: res.Report.Failures,
 		},
 		report: res.Report,
-		text:   res.Report.Render("campaign " + id + " (" + proj.Name + ")"),
+		text:   res.Report.Render("campaign " + id + " (" + projName + ")"),
 	}
-	s.campaigns[id] = run
 	s.mu.Unlock()
+	return id
+}
 
-	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "report": res.Report})
+// handleRunCampaign validates the request synchronously, enqueues the
+// campaign on the scheduler, and returns 202 with a job ID. With
+// ?wait=true it blocks until the job finishes and answers like the old
+// synchronous API (201 + report).
+func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad campaign json: %v", err)
+		return
+	}
+	c, projName, status, msg := s.buildCampaign(req)
+	if status != 0 {
+		httpError(w, status, "%s", msg)
+		return
+	}
+
+	task := func(ctx context.Context, report func(scheduler.Progress)) (any, error) {
+		c.OnProgress = func(p campaign.Progress) {
+			report(scheduler.Progress{Phase: p.Phase, Done: p.Done, Total: p.Total})
+			if s.testProgressHook != nil {
+				s.testProgressHook(p)
+			}
+		}
+		res, err := c.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return s.storeCampaign(req.Project, projName, res), nil
+	}
+	jobID, err := s.sched.Submit(req.Project, task)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "cannot schedule campaign: %v", err)
+		return
+	}
+
+	if r.URL.Query().Get("wait") != "true" {
+		writeJSON(w, http.StatusAccepted, map[string]string{"job": jobID})
+		return
+	}
+	st, ok := s.sched.Wait(jobID)
+	if !ok {
+		// Only possible when the finished job was already evicted by the
+		// retention limit before we could read it.
+		httpError(w, http.StatusInternalServerError, "job %s evicted before its result could be read", jobID)
+		return
+	}
+	switch st.State {
+	case scheduler.Done:
+		campID := st.Result.(string)
+		s.mu.RLock()
+		run := s.campaigns[campID]
+		s.mu.RUnlock()
+		writeJSON(w, http.StatusCreated, map[string]any{"id": campID, "job": jobID, "report": run.report})
+	case scheduler.Canceled:
+		httpError(w, http.StatusConflict, "campaign canceled")
+	default:
+		httpError(w, http.StatusUnprocessableEntity, "campaign failed: %s", st.Error)
+	}
+}
+
+// jobView converts a scheduler snapshot to the API shape.
+func jobView(st scheduler.Status) JobStatus {
+	out := JobStatus{
+		ID: st.ID, Project: st.Name, State: st.State, Progress: st.Progress,
+		PhaseMillis: st.PhaseMillis, Error: st.Error,
+		EnqueuedMS: st.EnqueuedMS, StartedMS: st.StartedMS, FinishedMS: st.FinishedMS,
+	}
+	if id, ok := st.Result.(string); ok {
+		out.Campaign = id
+	}
+	return out
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	sts := s.sched.List()
+	out := make([]JobStatus, len(sts))
+	for i, st := range sts {
+		out[i] = jobView(st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.sched.Status(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, jobView(st))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.sched.Cancel(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobView(st))
 }
 
 func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ids := make([]string, 0, len(s.campaigns))
 	for id := range s.campaigns {
 		ids = append(ids, id)
@@ -298,9 +450,9 @@ func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	run, ok := s.campaigns[r.PathValue("id")]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such campaign")
 		return
@@ -309,9 +461,9 @@ func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetCampaignText(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	run, ok := s.campaigns[r.PathValue("id")]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such campaign")
 		return

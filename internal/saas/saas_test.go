@@ -13,7 +13,9 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(NewServer(4).Handler())
+	srv := NewServer(4)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -124,7 +126,7 @@ func TestDemoCampaignEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	req.SampleN = 6 // keep the test fast
-	resp, out := postJSON(t, ts.URL+"/api/v1/campaigns", req)
+	resp, out := postJSON(t, ts.URL+"/api/v1/campaigns?wait=true", req)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("status = %d: %v", resp.StatusCode, out)
 	}
@@ -221,7 +223,7 @@ change {
 }`},
 		},
 	}
-	resp, body := postJSON(t, ts.URL+"/api/v1/campaigns", req)
+	resp, body := postJSON(t, ts.URL+"/api/v1/campaigns?wait=true", req)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("status = %d: %v", resp.StatusCode, body)
 	}

@@ -1,0 +1,449 @@
+// Package scheduler turns campaign execution into an asynchronous
+// service: a bounded job queue drained by a fixed worker pool, with
+// per-job lifecycle (queued → running → done/failed/canceled), live
+// progress counters, per-phase timings, cancellation, and a bounded
+// in-memory store of finished jobs. It is the missing layer between the
+// HTTP front end and the campaign engine — ZOFI (Porpodas, 2019)
+// observes that campaign throughput is dominated by how experiments are
+// scheduled, and the same holds one level up for whole campaigns in the
+// as-a-service setting.
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Progress is a live snapshot of how far a job has advanced.
+type Progress struct {
+	// Phase is the workflow phase last reported by the task
+	// (scan/coverage/execute/analyze for campaigns).
+	Phase string `json:"phase,omitempty"`
+	// Done / Total count completed vs planned experiments.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Task is the unit of work a job runs. It must honor ctx cancellation
+// and may call report (safe for concurrent use) as it advances. The
+// returned value is retained as the job result until eviction.
+type Task func(ctx context.Context, report func(Progress)) (any, error)
+
+// Status is the externally visible snapshot of a job.
+type Status struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name,omitempty"`
+	State    State    `json:"state"`
+	Progress Progress `json:"progress"`
+	// PhaseMillis records wall-clock time spent in each completed phase.
+	PhaseMillis map[string]int64 `json:"phaseMillis,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	// Unix-millisecond lifecycle timestamps (zero = not reached).
+	EnqueuedMS int64 `json:"enqueuedMs,omitempty"`
+	StartedMS  int64 `json:"startedMs,omitempty"`
+	FinishedMS int64 `json:"finishedMs,omitempty"`
+	// Result is whatever the task returned; nil unless State is Done.
+	Result any `json:"-"`
+}
+
+// Errors returned by Submit and Cancel.
+var (
+	ErrQueueFull = errors.New("scheduler: job queue full")
+	ErrClosed    = errors.New("scheduler: closed")
+)
+
+// Config sizes the scheduler.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (default 2).
+	Workers int
+	// QueueDepth bounds the number of submitted-but-not-started jobs;
+	// Submit fails with ErrQueueFull beyond it (default 64).
+	QueueDepth int
+	// Retain bounds how many finished jobs are kept for inspection;
+	// the oldest terminal jobs are evicted first (default 256).
+	Retain int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Retain <= 0 {
+		c.Retain = 256
+	}
+	return c
+}
+
+// job is the internal mutable record behind a Status.
+type job struct {
+	id   string
+	name string
+	task Task
+
+	mu         sync.Mutex
+	state      State
+	prog       Progress
+	phaseMS    map[string]int64
+	phaseStart time.Time
+	err        error
+	result     any
+	enqueued   time.Time
+	started    time.Time
+	finished   time.Time
+	cancel     context.CancelFunc // non-nil while running
+	done       chan struct{}      // closed on terminal state
+}
+
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.id, Name: j.name, State: j.state, Progress: j.prog,
+		EnqueuedMS: unixMS(j.enqueued), StartedMS: unixMS(j.started), FinishedMS: unixMS(j.finished),
+		Result: j.result,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if len(j.phaseMS) > 0 {
+		st.PhaseMillis = make(map[string]int64, len(j.phaseMS))
+		for k, v := range j.phaseMS {
+			st.PhaseMillis[k] = v
+		}
+	}
+	return st
+}
+
+func unixMS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
+}
+
+// report folds a task progress update into the job. Counters are
+// monotonic within a phase (stale updates from parallel experiment
+// workers cannot move them backwards); a phase transition resets them,
+// since phases legitimately shrink the denominator (coverage pruning
+// drops uncovered points between the coverage and execute phases), and
+// accounts the finished phase's wall time.
+func (j *job) report(p Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Running {
+		return // late update from an already-finished or canceled job
+	}
+	if p.Phase != j.prog.Phase {
+		if j.prog.Phase != "" {
+			j.phaseMS[j.prog.Phase] += time.Since(j.phaseStart).Milliseconds()
+		}
+		j.phaseStart = time.Now()
+		j.prog = p
+		return
+	}
+	if p.Done > j.prog.Done {
+		j.prog.Done = p.Done
+	}
+	if p.Total > j.prog.Total {
+		j.prog.Total = p.Total
+	}
+}
+
+// Scheduler owns the queue, the worker pool, and the job store. The
+// queue is an explicit pending list (not a channel) so that canceling a
+// queued job frees its slot immediately instead of holding it until a
+// worker pops and skips the corpse.
+type Scheduler struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals workers: pending grew or closed
+	jobs    map[string]*job
+	order   []string // submission order, for listing and eviction
+	pending []*job   // FIFO of queued jobs, bounded by QueueDepth
+	nextID  int
+	closed  bool
+
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New builds a scheduler and starts its worker pool.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:        cfg,
+		jobs:       make(map[string]*job),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Workers reports the configured pool size.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// Submit enqueues a task and returns its job ID immediately. It fails
+// with ErrQueueFull when the queue is at capacity and ErrClosed after
+// Close.
+func (s *Scheduler) Submit(name string, t Task) (string, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", ErrClosed
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	s.nextID++
+	j := &job{
+		id:       fmt.Sprintf("job-%d", s.nextID),
+		name:     name,
+		task:     t,
+		state:    Queued,
+		phaseMS:  make(map[string]int64),
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pending = append(s.pending, j)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return j.id, nil
+}
+
+// Status returns the snapshot of one job.
+func (s *Scheduler) Status(id string) (Status, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return j.status(), true
+}
+
+// List returns snapshots of every retained job in submission order.
+func (s *Scheduler) List() []Status {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(js))
+	for i, j := range js {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. A queued job is finished as
+// Canceled immediately; a running job has its context canceled and
+// finishes once in-flight experiments drain. Canceling a terminal job
+// is a no-op. The returned snapshot reflects the post-cancel state.
+func (s *Scheduler) Cancel(id string) (Status, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	// Pull the job out of the pending list first so its queue slot is
+	// freed immediately and no worker can start it underneath us.
+	s.mu.Lock()
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	j.mu.Lock()
+	switch j.state {
+	case Queued:
+		j.state = Canceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		s.evict()
+	case Running:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		j.mu.Unlock()
+	}
+	return j.status(), true
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// final snapshot. The second result is false for unknown job IDs.
+func (s *Scheduler) Wait(id string) (Status, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	<-j.done
+	return j.status(), true
+}
+
+// Close stops accepting submissions, cancels running jobs, and waits
+// for the worker pool to drain. Queued jobs finish as Canceled without
+// ever running.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	drained := s.pending
+	s.pending = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, j := range drained {
+		j.mu.Lock()
+		if j.state == Queued {
+			j.state = Canceled
+			j.err = context.Canceled
+			j.finished = time.Now()
+			close(j.done)
+		}
+		j.mu.Unlock()
+	}
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return // closed and drained
+		}
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+func (s *Scheduler) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != Queued { // canceled between queue pop and here
+		j.mu.Unlock()
+		return
+	}
+	if s.baseCtx.Err() != nil { // scheduler closing: don't start the task
+		j.state = Canceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.phaseStart = j.started
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	result, err := j.task(ctx, j.report)
+
+	j.mu.Lock()
+	if j.prog.Phase != "" {
+		j.phaseMS[j.prog.Phase] += time.Since(j.phaseStart).Milliseconds()
+	}
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = Done
+		j.result = result
+	case errors.Is(err, context.Canceled):
+		j.state = Canceled
+		j.err = context.Canceled
+	default:
+		j.state = Failed
+		j.err = err
+	}
+	close(j.done)
+	j.mu.Unlock()
+	s.evict()
+}
+
+// evict drops the oldest terminal jobs beyond the retention limit.
+// Queued and running jobs are never evicted.
+func (s *Scheduler) evict() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, id := range s.order {
+		if st := s.jobState(id); st.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.cfg.Retain {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		if terminal > s.cfg.Retain && s.jobState(id).Terminal() {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+func (s *Scheduler) jobState(id string) State {
+	j := s.jobs[id]
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
