@@ -1,0 +1,30 @@
+GO ?= go
+BENCH_PKGS = ./internal/scanner/ ./internal/pattern/ ./internal/mutator/
+
+.PHONY: build vet test race bench bench-all
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Engine benchmarks: scan throughput, match-engine hot paths, cached
+# mutation. Writes bench.txt so CI can upload it as an artifact and the
+# perf trajectory stays comparable across PRs. No pipe to tee: the
+# recipe must fail when go test fails.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) > bench.txt 2>&1; \
+	  status=$$?; cat bench.txt; exit $$status
+
+# Everything, including the paper-evaluation campaign benchmarks at the
+# repository root (slow).
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./... > bench-all.txt 2>&1; \
+	  status=$$?; cat bench-all.txt; exit $$status

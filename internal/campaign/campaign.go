@@ -117,10 +117,13 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	}
 
 	// --- Scan phase ---
+	// The parse cache is the campaign's shared front-end: every file is
+	// parsed once here and the same parses serve the coverage
+	// instrumentation and every experiment's mutation below.
 	c.progress(PhaseScan, 0, 0)
 	scanStart := time.Now()
-	scanFiles := c.scanSubset()
-	pl, err := plan.Build(scanFiles, c.Faultload)
+	cache := scanner.NewProjectCache(c.scanSubset())
+	pl, err := plan.BuildFromCache(cache, c.Faultload)
 	if err != nil {
 		return nil, fmt.Errorf("campaign %s: scan: %w", c.Name, err)
 	}
@@ -135,7 +138,7 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	// --- Coverage analysis (fault-free instrumented run) ---
 	c.progress(PhaseCoverage, 0, len(pl.Points))
 	covStart := time.Now()
-	covered, err := coverage.Analyze(c.Runtime, c.Image, c.Files, pl.Points, c.Workload)
+	covered, err := coverage.AnalyzeCached(c.Runtime, c.Image, c.Files, cache, pl.Points, c.Workload)
 	if err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
 	}
@@ -162,7 +165,7 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 		if ctx.Err() != nil {
 			return analysis.Record{Point: execPoints[i], FaultType: pl.TypeOf(execPoints[i])}
 		}
-		rec := c.runExperiment(execPoints[i], models, pl, covered, int64(i))
+		rec := c.runExperiment(cache, execPoints[i], models, pl, covered, int64(i))
 		c.progress(PhaseExecute, int(done.Add(1)), len(execPoints))
 		return rec
 	})
@@ -188,31 +191,32 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 }
 
 // runExperiment executes one fault injection experiment: generate the
-// mutated version, deploy a container with it, run the two-round
-// workload, collect results, tear the container down.
-func (c *Campaign) runExperiment(pt scanner.InjectionPoint, models map[string]*pattern.MetaModel,
-	pl *plan.Plan, covered map[string]bool, idx int64) analysis.Record {
+// mutated version (from the campaign's shared parse cache), deploy a
+// container with it, run the two-round workload, collect results, tear
+// the container down.
+func (c *Campaign) runExperiment(cache *scanner.ProjectCache, pt scanner.InjectionPoint,
+	models map[string]*pattern.MetaModel, pl *plan.Plan, covered map[string]bool, idx int64) analysis.Record {
 
 	rec := analysis.Record{Point: pt, FaultType: pl.TypeOf(pt), Covered: covered[pt.ID()]}
 	mm, ok := models[pt.Spec]
 	if !ok {
 		return rec
 	}
-	src, ok := c.Files[pt.File]
-	if !ok {
+	pf, err := cache.Get(pt.File)
+	if err != nil {
 		return rec
 	}
-	mut, err := mutator.Apply(pt.File, src, mm, pt, mutator.Options{Triggered: true})
+	mut, err := mutator.ApplyParsed(pf, mm, pt, mutator.Options{Triggered: true})
 	if err != nil {
 		return rec
 	}
 
+	// Copy-on-write deploy: the container shares the campaign's base
+	// file layer and shadows just the mutated file through the overlay,
+	// instead of copying the whole file map per experiment.
 	img := c.Image
-	img.Files = make(map[string][]byte, len(c.Files))
-	for name, data := range c.Files {
-		img.Files[name] = data
-	}
-	img.Files[pt.File] = mut.Source
+	img.Files = c.Files
+	img.Overlay = map[string][]byte{pt.File: mut.Source}
 
 	ctr := c.Runtime.CreateSeeded(img, c.Seed+idx+1)
 	defer func() { _ = c.Runtime.Destroy(ctr) }()

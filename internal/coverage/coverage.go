@@ -15,23 +15,32 @@ import (
 )
 
 // Analyze performs the fault-free instrumented run and returns the set of
-// covered injection-point IDs.
+// covered injection-point IDs. Campaigns holding a parse cache should use
+// AnalyzeCached, which reuses the scan-phase parses.
 func Analyze(rt *sandbox.Runtime, img sandbox.Image, files map[string][]byte,
 	points []scanner.InjectionPoint, cfg workload.Config) (map[string]bool, error) {
+	return AnalyzeCached(rt, img, files, scanner.NewProjectCache(files), points, cfg)
+}
+
+// AnalyzeCached is Analyze against a per-campaign parse cache: files with
+// injection points are instrumented from their cached parse, and the
+// container image layers the instrumented copies over the untouched base
+// file set instead of rebuilding the whole map.
+func AnalyzeCached(rt *sandbox.Runtime, img sandbox.Image, files map[string][]byte,
+	cache *scanner.ProjectCache, points []scanner.InjectionPoint, cfg workload.Config) (map[string]bool, error) {
 
 	// Group points per file and instrument each file once.
 	byFile := map[string][]scanner.InjectionPoint{}
 	for _, p := range points {
 		byFile[p.File] = append(byFile[p.File], p)
 	}
-	instrumented := make(map[string][]byte, len(files))
-	for name, src := range files {
-		pts, ok := byFile[name]
-		if !ok {
-			instrumented[name] = src
-			continue
+	instrumented := make(map[string][]byte, len(byFile))
+	for name, pts := range byFile {
+		pf, err := cache.Get(name)
+		if err != nil {
+			return nil, fmt.Errorf("coverage: instrument %s: %w", name, err)
 		}
-		out, err := mutator.Instrument(name, src, pts)
+		out, err := mutator.InstrumentParsed(pf, pts)
 		if err != nil {
 			return nil, fmt.Errorf("coverage: instrument %s: %w", name, err)
 		}
@@ -40,7 +49,8 @@ func Analyze(rt *sandbox.Runtime, img sandbox.Image, files map[string][]byte,
 
 	covImg := img
 	covImg.Name = img.Name + "-coverage"
-	covImg.Files = instrumented
+	covImg.Files = files
+	covImg.Overlay = instrumented
 	c := rt.CreateSeeded(covImg, 0)
 	defer func() { _ = rt.Destroy(c) }()
 

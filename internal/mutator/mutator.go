@@ -18,6 +18,8 @@ import (
 	"go/ast"
 	"go/printer"
 	"go/token"
+	"sort"
+	"strconv"
 
 	"profipy/internal/pattern"
 	"profipy/internal/scanner"
@@ -37,25 +39,34 @@ type Result struct {
 	Mutated  string // source text of the injected statements
 }
 
-// Apply mutates one injection point in a source file. The file is parsed
-// fresh, the match is re-established (scan ordering is deterministic), the
+// Apply mutates one injection point in a source file: the file is parsed,
+// the match is re-established (scan ordering is deterministic), the
 // replacement template is instantiated against the match bindings, and the
-// mutated file is rendered back to source.
+// mutated file is produced. Callers holding a campaign parse cache should
+// prefer ApplyParsed, which skips the per-experiment parse.
 func Apply(filename string, src []byte, mm *pattern.MetaModel, point scanner.InjectionPoint, opts Options) (*Result, error) {
-	if point.Spec != mm.Name {
-		return nil, fmt.Errorf("mutator: injection point is for spec %q, not %q", point.Spec, mm.Name)
-	}
-	fset := token.NewFileSet()
-	f, err := scanner.ParseSource(fset, filename, src)
+	pf, err := scanner.ParseFileOnce(filename, src)
 	if err != nil {
 		return nil, err
 	}
-	lists := scanner.CollectLists(f)
+	return ApplyParsed(pf, mm, point, opts)
+}
+
+// ApplyParsed mutates one injection point against a cached parse. The
+// cached AST is strictly read-only — the same ParsedFile is shared by
+// every parallel experiment of a campaign — so instead of rewriting the
+// tree and re-printing the whole file, the rendered replacement text is
+// spliced into a copy of the source bytes at the statement window's byte
+// offsets. Source outside the window is preserved byte-for-byte.
+func ApplyParsed(pf *scanner.ParsedFile, mm *pattern.MetaModel, point scanner.InjectionPoint, opts Options) (*Result, error) {
+	if point.Spec != mm.Name {
+		return nil, fmt.Errorf("mutator: injection point is for spec %q, not %q", point.Spec, mm.Name)
+	}
+	lists := pf.Lists
 	if point.ListIndex < 0 || point.ListIndex >= len(lists) {
 		return nil, fmt.Errorf("mutator: stale injection point: list index %d out of range", point.ListIndex)
 	}
-	listPtr := lists[point.ListIndex].Ptr
-	stmts := *listPtr
+	stmts := *lists[point.ListIndex].Ptr
 	if point.Start < 0 || point.Start >= len(stmts) {
 		return nil, fmt.Errorf("mutator: stale injection point: start %d out of range", point.Start)
 	}
@@ -72,7 +83,7 @@ func Apply(filename string, src []byte, mm *pattern.MetaModel, point scanner.Inj
 	}
 
 	originals := stmts[point.Start : point.Start+n]
-	origText := renderStmts(fset, originals)
+	origText := renderStmts(pf.Fset, originals)
 
 	var injected []ast.Stmt
 	if opts.Triggered {
@@ -86,73 +97,131 @@ func Apply(filename string, src []byte, mm *pattern.MetaModel, point scanner.Inj
 	} else {
 		injected = faulty
 	}
-	mutText := renderStmts(fset, injected)
+	mutText := renderStmts(pf.Fset, injected)
 
-	newList := make([]ast.Stmt, 0, len(stmts)-n+len(injected))
-	newList = append(newList, stmts[:point.Start]...)
-	newList = append(newList, injected...)
-	newList = append(newList, stmts[point.Start+n:]...)
-	*listPtr = newList
-
-	var buf bytes.Buffer
-	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
-	if err := cfg.Fprint(&buf, fset, f); err != nil {
-		return nil, fmt.Errorf("mutator: render mutated file: %w", err)
+	// Zero-width matches (a pattern that consumes no statements, e.g. a
+	// 0-minimum block) insert before the statement at Start instead of
+	// replacing a window.
+	startOff := pf.Offset(stmts[point.Start].Pos())
+	endOff := startOff
+	if n > 0 {
+		endOff = pf.Offset(originals[n-1].End())
 	}
-	return &Result{Source: buf.Bytes(), Original: origText, Mutated: mutText}, nil
+	spliceFrom, indent := spliceAnchor(pf.Src, startOff)
+	rendered, err := renderIndented(injected, indent)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]byte, 0, len(pf.Src)-(endOff-spliceFrom)+len(rendered)+1)
+	out = append(out, pf.Src[:spliceFrom]...)
+	out = append(out, rendered...)
+	if n == 0 {
+		// Pure insertion: the statement at Start survives on its own
+		// line (endOff sits at spliceFrom or just past the indent, so
+		// the indent bytes cut by the anchor are restored too).
+		out = append(out, '\n')
+		out = append(out, pf.Src[spliceFrom:startOff]...)
+	}
+	out = append(out, pf.Src[endOff:]...)
+	return &Result{Source: out, Original: origText, Mutated: mutText}, nil
+}
+
+// spliceAnchor decides where a statement-window splice begins. When the
+// window's first statement has only whitespace before it on its line, the
+// splice starts at the line start and the replacement is re-indented to
+// the same depth; when code precedes it (single-line blocks like
+// `if x { g() }`), the splice starts at the statement itself, unindented —
+// still valid Go, just less pretty.
+func spliceAnchor(src []byte, startOff int) (from, indent int) {
+	lineStart := startOff
+	for lineStart > 0 && src[lineStart-1] != '\n' {
+		lineStart--
+	}
+	tabs, spaces := 0, 0
+	for _, ch := range src[lineStart:startOff] {
+		switch ch {
+		case '\t':
+			tabs++
+		case ' ':
+			spaces++
+		default:
+			return startOff, 0
+		}
+	}
+	return lineStart, tabs + spaces/8
+}
+
+// renderIndented renders statements at the given indent depth. The
+// go/printer protects raw string literals from the indentation pass, so
+// multi-line literals inside the window survive unchanged.
+func renderIndented(stmts []ast.Stmt, indent int) ([]byte, error) {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8, Indent: indent}
+	fset := token.NewFileSet()
+	for i, s := range stmts {
+		if i > 0 {
+			buf.WriteByte('\n')
+		}
+		if err := cfg.Fprint(&buf, fset, s); err != nil {
+			return nil, fmt.Errorf("mutator: render mutated statements: %w", err)
+		}
+	}
+	return buf.Bytes(), nil
 }
 
 // Instrument inserts a coverage hook call (__cover(id)) before the first
 // statement of every injection point in a file, producing a single
 // instrumented version used by the coverage analysis (§IV-D). Points must
-// all belong to this file. Points are applied in descending statement
-// order so earlier indexes stay valid.
+// all belong to this file.
 func Instrument(filename string, src []byte, points []scanner.InjectionPoint) ([]byte, error) {
-	fset := token.NewFileSet()
-	f, err := scanner.ParseSource(fset, filename, src)
+	pf, err := scanner.ParseFileOnce(filename, src)
 	if err != nil {
 		return nil, err
 	}
-	lists := scanner.CollectLists(f)
+	return InstrumentParsed(pf, points)
+}
 
-	// Group insertions per list, then apply from the highest start first.
-	byList := map[int][]scanner.InjectionPoint{}
+// InstrumentParsed instruments against a cached parse without touching the
+// shared AST: each hook is rendered as text and inserted at the byte
+// offset of its point's first statement, on the same line, so the
+// instrumented file keeps the original's line numbers (coverage and
+// injection-point line reports stay comparable).
+func InstrumentParsed(pf *scanner.ParsedFile, points []scanner.InjectionPoint) ([]byte, error) {
+	lists := pf.Lists
+	offsets := make([]int, 0, len(points))
+	hooks := make([]string, 0, len(points))
 	for _, p := range points {
-		if p.File != filename {
-			return nil, fmt.Errorf("mutator: point %s does not belong to file %s", p.ID(), filename)
+		if p.File != pf.Name {
+			return nil, fmt.Errorf("mutator: point %s does not belong to file %s", p.ID(), pf.Name)
 		}
 		if p.ListIndex < 0 || p.ListIndex >= len(lists) {
 			return nil, fmt.Errorf("mutator: stale injection point %s", p.ID())
 		}
-		byList[p.ListIndex] = append(byList[p.ListIndex], p)
-	}
-	for li, pts := range byList {
-		// Sort descending by start (insertion keeps earlier offsets valid).
-		for i := 1; i < len(pts); i++ {
-			for j := i; j > 0 && pts[j].Start > pts[j-1].Start; j-- {
-				pts[j], pts[j-1] = pts[j-1], pts[j]
-			}
+		stmts := *lists[p.ListIndex].Ptr
+		if p.Start < 0 || p.Start >= len(stmts) {
+			return nil, fmt.Errorf("mutator: stale injection point %s", p.ID())
 		}
-		listPtr := lists[li].Ptr
-		for _, p := range pts {
-			stmts := *listPtr
-			if p.Start > len(stmts) {
-				return nil, fmt.Errorf("mutator: stale injection point %s", p.ID())
-			}
-			hook := &ast.ExprStmt{X: hookCall(HookCover, strLit(p.ID()))}
-			newList := make([]ast.Stmt, 0, len(stmts)+1)
-			newList = append(newList, stmts[:p.Start]...)
-			newList = append(newList, hook)
-			newList = append(newList, stmts[p.Start:]...)
-			*listPtr = newList
-		}
+		offsets = append(offsets, pf.Offset(stmts[p.Start].Pos()))
+		hooks = append(hooks, HookCover+"("+strconv.Quote(p.ID())+"); ")
 	}
 
-	var buf bytes.Buffer
-	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
-	if err := cfg.Fprint(&buf, fset, f); err != nil {
-		return nil, fmt.Errorf("mutator: render instrumented file: %w", err)
+	// Insert in ascending offset order while walking the source once.
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
 	}
+	sort.SliceStable(order, func(a, b int) bool { return offsets[order[a]] < offsets[order[b]] })
+
+	var buf bytes.Buffer
+	buf.Grow(len(pf.Src) + 48*len(points))
+	prev := 0
+	for _, i := range order {
+		buf.Write(pf.Src[prev:offsets[i]])
+		buf.WriteString(hooks[i])
+		prev = offsets[i]
+	}
+	buf.Write(pf.Src[prev:])
 	return buf.Bytes(), nil
 }
 

@@ -1,0 +1,111 @@
+package pattern_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"profipy/internal/dsl"
+	"profipy/internal/pattern"
+)
+
+// benchStmts builds a long mixed statement list (calls, assignments,
+// guarded blocks, loops) resembling one function of the synthetic corpus.
+func benchStmts(b *testing.B) []ast.Stmt {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString("package p\nfunc f(node string, count int) {\n")
+	for i := 0; i < 64; i++ {
+		switch i % 4 {
+		case 0:
+			fmt.Fprintf(&sb, "\tcompute_delete(state, node)\n")
+		case 1:
+			fmt.Fprintf(&sb, "\tres%d := volume_get(state, count)\n\tuse(res%d)\n", i, i)
+		case 2:
+			fmt.Fprintf(&sb, "\tif node != \"\" {\n\t\taudit(node)\n\t\tcount = count + %d\n\t}\n", i%9+1)
+		case 3:
+			fmt.Fprintf(&sb, "\tfor i := 0; i < count; i++ {\n\t\tstep(state, i)\n\t}\n")
+		}
+	}
+	sb.WriteString("}\n")
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "b.go", sb.String(), parser.SkipObjectResolution)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body.List
+}
+
+func benchModel(b *testing.B, name, spec string) *pattern.MetaModel {
+	b.Helper()
+	mm, err := dsl.Compile(name, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mm
+}
+
+// BenchmarkMatchPrefixIfHead sweeps an if-headed pattern (MIFS flavor)
+// over every start position: the first-statement pre-filter rejects ~3/4
+// of the positions with a single type comparison.
+func BenchmarkMatchPrefixIfHead(b *testing.B) {
+	stmts := benchStmts(b)
+	mm := benchModel(b, "mifs", `
+change {
+	if $EXPR{var=node} {
+		audit(node)
+		$BLOCK{stmts=1,2}
+	}
+} into {
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for start := range stmts {
+			mm.MatchPrefix(stmts, start)
+		}
+	}
+}
+
+// BenchmarkMatchPrefixBlockHead sweeps an MFC-flavor pattern whose
+// leading $BLOCK defeats the pre-filter: this is the backtracking-heavy
+// worst case, exercising the reduced-clone bindings path.
+func BenchmarkMatchPrefixBlockHead(b *testing.B) {
+	stmts := benchStmts(b)
+	mm := benchModel(b, "mfc", `
+change {
+	$BLOCK{tag=b1; stmts=1,*}
+	$CALL{name=compute_*}(...)
+	$BLOCK{tag=b2; stmts=1,*}
+} into {
+	$BLOCK{tag=b1}
+	$BLOCK{tag=b2}
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for start := range stmts {
+			mm.MatchPrefix(stmts, start)
+		}
+	}
+}
+
+// BenchmarkMatchPrefixCallHead sweeps a $CALL-headed pattern with an
+// argument ellipsis (WPF flavor): the pre-filter narrows starts to
+// expression statements and the argument matcher backtracks clone-free.
+func BenchmarkMatchPrefixCallHead(b *testing.B) {
+	stmts := benchStmts(b)
+	mm := benchModel(b, "wpf", `
+change {
+	$CALL#c{name=compute_*}(..., $VAR#v{name=node}, ...)
+} into {
+	$CALL#c(..., $CORRUPT($VAR#v), ...)
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for start := range stmts {
+			mm.MatchPrefix(stmts, start)
+		}
+	}
+}

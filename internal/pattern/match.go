@@ -17,17 +17,57 @@ func (m *MetaModel) MatchPrefix(stmts []ast.Stmt, start int) (int, Bindings, boo
 	if start < 0 || start > len(stmts) {
 		return 0, nil, false
 	}
-	n, b, ok := m.matchSeq(m.Pattern, stmts[start:], false, Bindings{})
+	// Fast reject: most start positions die on the pattern's first
+	// element, so a one-comparison kind check beats a full unify.
+	if start < len(stmts) && !m.CanStartWith(stmts[start]) {
+		return 0, nil, false
+	}
+	// Internally, bindings thread through the matcher as a persistent
+	// linked list: extending costs one small node, failed trials leave no
+	// garbage, and nothing is cloned on the backtracking paths. The map
+	// form the public API promises is materialized only here, once per
+	// successful match.
+	n, b, ok := m.matchSeq(m.Pattern, stmts[start:], false, nil)
 	if !ok {
 		return 0, nil, false
 	}
-	return n, b, true
+	return n, b.bindings(), true
+}
+
+// bindNode is one link of the matcher-internal persistent bindings list.
+// Prepending shadows earlier entries for the same tag, which is how a
+// backtracking block trial rebinds its tag per extent.
+type bindNode struct {
+	tag  string
+	val  Bound
+	next *bindNode
+}
+
+// with returns the list extended by one binding; the receiver (which may
+// be nil) is shared, not copied.
+func (n *bindNode) with(tag string, v Bound) *bindNode {
+	return &bindNode{tag: tag, val: v, next: n}
+}
+
+// bindings converts the list to the public map form; the most recent
+// binding of a tag wins. A nil list yields nil.
+func (n *bindNode) bindings() Bindings {
+	if n == nil {
+		return nil
+	}
+	out := make(Bindings)
+	for c := n; c != nil; c = c.next {
+		if _, ok := out[c.tag]; !ok {
+			out[c.tag] = c.val
+		}
+	}
+	return out
 }
 
 // matchSeq matches a pattern statement sequence against target statements.
 // When anchored, the pattern must consume the entire target list (used for
 // nested bodies such as if/for blocks); otherwise a prefix match suffices.
-func (m *MetaModel) matchSeq(pat, tgt []ast.Stmt, anchored bool, b Bindings) (int, Bindings, bool) {
+func (m *MetaModel) matchSeq(pat, tgt []ast.Stmt, anchored bool, b *bindNode) (int, *bindNode, bool) {
 	if len(pat) == 0 {
 		if anchored && len(tgt) != 0 {
 			return 0, nil, false
@@ -42,9 +82,18 @@ func (m *MetaModel) matchSeq(pat, tgt []ast.Stmt, anchored bool, b Bindings) (in
 			maxK = len(tgt)
 		}
 		for k := d.MinStmts; k <= maxK; k++ {
-			trial := b.clone()
+			// Lookahead prune: skip extents whose follow-up statement
+			// cannot possibly unify with the next pattern element.
+			if len(pat) > 1 && k < len(tgt) && !m.canOpen(pat[1], tgt[k]) {
+				continue
+			}
+			trial := b
 			if d.Tag != "" {
-				trial[d.Tag] = Bound{Stmts: append([]ast.Stmt(nil), tgt[:k]...)}
+				// Full slice expression: consumers treat bound statement
+				// runs as read-only, so aliasing the target list avoids a
+				// copy per backtracking step; the cap guard keeps an
+				// appending consumer from clobbering the target.
+				trial = b.with(d.Tag, Bound{Stmts: tgt[:k:k]})
 			}
 			rest, out, ok := m.matchSeq(pat[1:], tgt[k:], anchored, trial)
 			if ok {
@@ -80,7 +129,7 @@ func (m *MetaModel) stmtDirective(s ast.Stmt) *Directive {
 
 // matchStmt matches a single pattern statement against a single target
 // statement, returning the (possibly extended) bindings.
-func (m *MetaModel) matchStmt(p, t ast.Stmt, b Bindings) (Bindings, bool) {
+func (m *MetaModel) matchStmt(p, t ast.Stmt, b *bindNode) (*bindNode, bool) {
 	// A bare directive in statement position.
 	if d := m.stmtDirective(p); d != nil {
 		switch d.Kind {
@@ -99,8 +148,7 @@ func (m *MetaModel) matchStmt(p, t ast.Stmt, b Bindings) (Bindings, bool) {
 			return m.matchCallDirective(d, call, b)
 		case KindAny:
 			if d.Tag != "" {
-				b = b.clone()
-				b[d.Tag] = Bound{Stmts: []ast.Stmt{t}}
+				b = b.with(d.Tag, Bound{Stmts: []ast.Stmt{t}})
 			}
 			return b, true
 		default:
@@ -120,7 +168,12 @@ func (m *MetaModel) matchStmt(p, t ast.Stmt, b Bindings) (Bindings, bool) {
 		if !ok || ps.Tok != ts.Tok || len(ps.Lhs) != len(ts.Lhs) || len(ps.Rhs) != len(ts.Rhs) {
 			return nil, false
 		}
-		return m.matchExprLists(append(ps.Lhs, ps.Rhs...), append(ts.Lhs, ts.Rhs...), b)
+		// Sides matched separately: concatenating with append would
+		// allocate two scratch slices per unify attempt on this hot path.
+		if b, ok = m.matchExprLists(ps.Lhs, ts.Lhs, b); !ok {
+			return nil, false
+		}
+		return m.matchExprLists(ps.Rhs, ts.Rhs, b)
 	case *ast.ReturnStmt:
 		ts, ok := t.(*ast.ReturnStmt)
 		if !ok || len(ps.Results) != len(ts.Results) {
@@ -289,7 +342,7 @@ func (m *MetaModel) matchStmt(p, t ast.Stmt, b Bindings) (Bindings, bool) {
 	}
 }
 
-func (m *MetaModel) matchExprLists(ps, ts []ast.Expr, b Bindings) (Bindings, bool) {
+func (m *MetaModel) matchExprLists(ps, ts []ast.Expr, b *bindNode) (*bindNode, bool) {
 	if len(ps) != len(ts) {
 		return nil, false
 	}
@@ -305,7 +358,7 @@ func (m *MetaModel) matchExprLists(ps, ts []ast.Expr, b Bindings) (Bindings, boo
 
 // matchExpr matches a pattern expression (which may be a directive
 // placeholder) against a target expression.
-func (m *MetaModel) matchExpr(p, t ast.Expr, b Bindings) (Bindings, bool) {
+func (m *MetaModel) matchExpr(p, t ast.Expr, b *bindNode) (*bindNode, bool) {
 	for {
 		if pp, ok := p.(*ast.ParenExpr); ok {
 			p = pp.X
@@ -459,19 +512,17 @@ func (m *MetaModel) matchExpr(p, t ast.Expr, b Bindings) (Bindings, bool) {
 
 // matchRawArgs matches a raw-Go argument list (exact arity) but still
 // honours placeholder patterns inside individual arguments.
-func (m *MetaModel) matchRawArgs(ps, ts []ast.Expr, b Bindings) (Bindings, bool) {
+func (m *MetaModel) matchRawArgs(ps, ts []ast.Expr, b *bindNode) (*bindNode, bool) {
 	return m.matchExprLists(ps, ts, b)
 }
 
 // matchDirectiveExpr matches a directive placeholder in expression context.
-func (m *MetaModel) matchDirectiveExpr(d *Directive, t ast.Expr, b Bindings) (Bindings, bool) {
-	bind := func(b Bindings) Bindings {
+func (m *MetaModel) matchDirectiveExpr(d *Directive, t ast.Expr, b *bindNode) (*bindNode, bool) {
+	bind := func(b *bindNode) *bindNode {
 		if d.Tag == "" {
 			return b
 		}
-		nb := b.clone()
-		nb[d.Tag] = Bound{Expr: t}
-		return nb
+		return b.with(d.Tag, Bound{Expr: t})
 	}
 	switch d.Kind {
 	case KindCall:
@@ -534,7 +585,7 @@ func (m *MetaModel) matchDirectiveExpr(d *Directive, t ast.Expr, b Bindings) (Bi
 // the callee name must match the name glob (against either the full dotted
 // path or its final segment) and, when an argument pattern was written,
 // the arguments must match it.
-func (m *MetaModel) matchCallDirective(d *Directive, call *ast.CallExpr, b Bindings) (Bindings, bool) {
+func (m *MetaModel) matchCallDirective(d *Directive, call *ast.CallExpr, b *bindNode) (*bindNode, bool) {
 	name := CalleeName(call.Fun)
 	if name == "" {
 		return nil, false
@@ -555,15 +606,14 @@ func (m *MetaModel) matchCallDirective(d *Directive, call *ast.CallExpr, b Bindi
 		}
 	}
 	if d.Tag != "" {
-		b = b.clone()
-		b[d.Tag] = Bound{Expr: call}
+		b = b.with(d.Tag, Bound{Expr: call})
 	}
 	return b, true
 }
 
 // matchArgSeq matches a $CALL argument pattern (with "..." wildcards)
 // against concrete call arguments, lazily and with backtracking.
-func (m *MetaModel) matchArgSeq(pats []ArgPat, args []ast.Expr, b Bindings) (Bindings, bool) {
+func (m *MetaModel) matchArgSeq(pats []ArgPat, args []ast.Expr, b *bindNode) (*bindNode, bool) {
 	if len(pats) == 0 {
 		if len(args) != 0 {
 			return nil, false
@@ -572,8 +622,10 @@ func (m *MetaModel) matchArgSeq(pats []ArgPat, args []ast.Expr, b Bindings) (Bin
 	}
 	p0 := pats[0]
 	if p0.Ellipsis {
+		// No clone per extent: downstream matchers copy-on-write, so a
+		// failed trial leaves b untouched.
 		for k := 0; k <= len(args); k++ {
-			if out, ok := m.matchArgSeq(pats[1:], args[k:], b.clone()); ok {
+			if out, ok := m.matchArgSeq(pats[1:], args[k:], b); ok {
 				return out, true
 			}
 		}

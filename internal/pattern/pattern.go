@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"reflect"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Kind identifies a DSL directive.
@@ -149,6 +151,66 @@ type MetaModel struct {
 	Replace []ast.Stmt
 	Holes   map[string]*Directive
 	Fset    *token.FileSet
+
+	// First-statement pre-filter index, computed lazily (and race-free)
+	// on first match: when the pattern's leading element can only match
+	// one concrete statement kind, MatchPrefix rejects every other start
+	// position with a single type comparison instead of a full unify.
+	startOnce sync.Once
+	startAny  bool
+	startType reflect.Type
+}
+
+// initStartFilter computes the pre-filter index from the pattern head.
+//
+//   - empty pattern, leading $BLOCK, or leading $ANY: any statement (or
+//     none at all) can open a match, so the filter stays permissive;
+//   - leading bare $CALL: only an expression statement can open a match
+//     (statement-position $CALL requires the call's value to be unused);
+//   - leading concrete statement: only the same statement kind can open a
+//     match, since matchStmt unifies like-with-like.
+func (m *MetaModel) initStartFilter() {
+	if len(m.Pattern) == 0 {
+		m.startAny = true
+		return
+	}
+	if d := m.stmtDirective(m.Pattern[0]); d != nil {
+		if d.Kind == KindCall {
+			m.startType = reflect.TypeOf((*ast.ExprStmt)(nil))
+			return
+		}
+		// $BLOCK and $ANY accept any leading statement; other directives
+		// never match in statement position, which matchStmt rejects
+		// uniformly, so staying permissive is still correct.
+		m.startAny = true
+		return
+	}
+	m.startType = reflect.TypeOf(m.Pattern[0])
+}
+
+// CanStartWith reports whether a match could possibly begin at the given
+// statement, per the pre-filter index. A false answer is definitive; a
+// true answer still requires a full MatchPrefix.
+func (m *MetaModel) CanStartWith(s ast.Stmt) bool {
+	m.startOnce.Do(m.initStartFilter)
+	return m.startAny || reflect.TypeOf(s) == m.startType
+}
+
+// canOpen is the uncached form of the pre-filter, applied to an arbitrary
+// pattern element: it reports whether target statement t could possibly
+// unify with pattern statement p. Used by the block matcher to discard
+// extents whose follow-up statement is of the wrong kind before paying
+// for a recursive unify. False negatives are not allowed; false
+// positives just cost the unify that would have happened anyway.
+func (m *MetaModel) canOpen(p, t ast.Stmt) bool {
+	if d := m.stmtDirective(p); d != nil {
+		if d.Kind == KindCall {
+			_, ok := t.(*ast.ExprStmt)
+			return ok
+		}
+		return true
+	}
+	return reflect.TypeOf(p) == reflect.TypeOf(t)
 }
 
 // HoleFor returns the directive bound to a placeholder expression, or nil
@@ -174,16 +236,10 @@ type Bound struct {
 	Expr  ast.Expr
 }
 
-// Bindings maps directive tags to the nodes they captured.
+// Bindings maps directive tags to the nodes they captured. The matcher
+// threads bindings internally as a persistent list (see bindNode) and
+// materializes this map once per successful match.
 type Bindings map[string]Bound
-
-func (b Bindings) clone() Bindings {
-	nb := make(Bindings, len(b))
-	for k, v := range b {
-		nb[k] = v
-	}
-	return nb
-}
 
 // Match is one occurrence of a meta-model's code pattern in a target file:
 // a window of N consecutive statements starting at Start within the

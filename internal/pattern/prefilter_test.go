@@ -1,0 +1,207 @@
+package pattern_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"profipy/internal/dsl"
+)
+
+func parseBody(t *testing.T, body string) []ast.Stmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body.List
+}
+
+// TestPrefilterAgreesWithMatch: CanStartWith may only reject start
+// positions that MatchPrefix would reject too — across pattern heads of
+// every flavor (concrete statement, bare $CALL, $BLOCK, $ANY).
+func TestPrefilterAgreesWithMatch(t *testing.T) {
+	specs := map[string]string{
+		"if-head": `
+change {
+	if $EXPR#e {
+		$BLOCK{stmts=1,4}
+	}
+} into {
+}`,
+		"assign-head": `
+change {
+	$VAR#v := $CALL#c{name=*}(...)
+} into {
+	$VAR#v := $NIL
+}`,
+		"call-head": `
+change {
+	$CALL{name=*}(...)
+} into {
+}`,
+		"block-head": `
+change {
+	$BLOCK{tag=b; stmts=1,*}
+	return $EXPR#e
+} into {
+	$BLOCK{tag=b}
+}`,
+		"any-head": `
+change {
+	$ANY#a
+	$CALL{name=mark}(...)
+} into {
+	$ANY#a
+}`,
+		"return-head": `
+change {
+	return $EXPR#e
+} into {
+	return $NIL
+}`,
+	}
+	stmts := parseBody(t, `
+	x := get(1)
+	use(x)
+	if x != nil {
+		mark(x)
+	}
+	for i := 0; i < 3; i++ {
+		step(i)
+	}
+	return x
+`)
+	for name, spec := range specs {
+		mm, err := dsl.Compile(name, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for start := range stmts {
+			_, _, matched := mm.MatchPrefix(stmts, start)
+			if matched && !mm.CanStartWith(stmts[start]) {
+				t.Errorf("%s: prefilter rejects start %d that the matcher accepts", name, start)
+			}
+		}
+	}
+}
+
+// TestPrefilterRejectsImpossibleKinds: the index must actually prune —
+// an if-headed pattern refuses non-if starts with a single comparison.
+func TestPrefilterRejectsImpossibleKinds(t *testing.T) {
+	mm, err := dsl.Compile("mifs", `
+change {
+	if $EXPR#e {
+		$BLOCK{stmts=1,4}
+	}
+} into {
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := parseBody(t, `
+	x := get(1)
+	use(x)
+	if x != nil {
+		mark(x)
+	}
+`)
+	if mm.CanStartWith(stmts[0]) {
+		t.Error("if-headed pattern must reject an assignment start")
+	}
+	if mm.CanStartWith(stmts[1]) {
+		t.Error("if-headed pattern must reject a call start")
+	}
+	if !mm.CanStartWith(stmts[2]) {
+		t.Error("if-headed pattern must accept an if start")
+	}
+}
+
+// TestPrefilterCallHead: a statement-position $CALL can only open on an
+// expression statement.
+func TestPrefilterCallHead(t *testing.T) {
+	mm, err := dsl.Compile("mfc", `
+change {
+	$CALL{name=*}(...)
+} into {
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := parseBody(t, `
+	x := get(1)
+	use(x)
+`)
+	if mm.CanStartWith(stmts[0]) {
+		t.Error("$CALL head must reject an assignment")
+	}
+	if !mm.CanStartWith(stmts[1]) {
+		t.Error("$CALL head must accept an expression statement")
+	}
+}
+
+// TestPrefilterBlockHeadIsPermissive: $BLOCK swallows any leading
+// statement, so nothing may be pruned.
+func TestPrefilterBlockHeadIsPermissive(t *testing.T) {
+	mm, err := dsl.Compile("mfc", `
+change {
+	$BLOCK{tag=b1; stmts=1,*}
+	$CALL{name=Delete*}(...)
+	$BLOCK{tag=b2; stmts=1,*}
+} into {
+	$BLOCK{tag=b1}
+	$BLOCK{tag=b2}
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range parseBody(t, `
+	x := get(1)
+	use(x)
+	if x != nil {
+		mark(x)
+	}
+	return x
+`) {
+		if !mm.CanStartWith(s) {
+			t.Errorf("$BLOCK head must accept %T", s)
+		}
+	}
+}
+
+// TestBlockBindingsSurviveBacktracking: the block matcher reuses one
+// trial bindings map across extents; a successful match must still carry
+// the binding of the extent that succeeded, not a stale or clobbered one.
+func TestBlockBindingsSurviveBacktracking(t *testing.T) {
+	mm, err := dsl.Compile("mfc", `
+change {
+	$BLOCK{tag=b1; stmts=1,*}
+	$CALL{name=Delete*}(...)
+	$BLOCK{tag=b2; stmts=1,*}
+} into {
+	$BLOCK{tag=b1}
+	$BLOCK{tag=b2}
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := parseBody(t, `
+	one()
+	two()
+	DeletePort(x)
+	three()
+`)
+	n, b, ok := mm.MatchPrefix(stmts, 0)
+	if !ok || n != 4 {
+		t.Fatalf("match: n=%d ok=%v", n, ok)
+	}
+	if got := len(b["b1"].Stmts); got != 2 {
+		t.Errorf("b1 bound %d stmts, want 2 (one(); two())", got)
+	}
+	if got := len(b["b2"].Stmts); got != 1 {
+		t.Errorf("b2 bound %d stmts, want 1 (three())", got)
+	}
+}

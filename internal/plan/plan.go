@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"profipy/internal/faultmodel"
 	"profipy/internal/pattern"
@@ -95,11 +96,7 @@ func (p *Plan) Sample(n int, seed int64) *Plan {
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(len(p.Points))[:n]
 	// Keep plan order stable: sort selected indices.
-	for i := 1; i < len(perm); i++ {
-		for j := i; j > 0 && perm[j] < perm[j-1]; j-- {
-			perm[j], perm[j-1] = perm[j-1], perm[j]
-		}
-	}
+	sort.Ints(perm)
 	for _, idx := range perm {
 		out.Points = append(out.Points, p.Points[idx])
 	}
@@ -140,11 +137,19 @@ func Load(data []byte) (*Plan, error) {
 
 // Build scans a project with a faultload and returns the full plan.
 func Build(files map[string][]byte, specs []faultmodel.Spec) (*Plan, error) {
+	return BuildFromCache(scanner.NewProjectCache(files), specs)
+}
+
+// BuildFromCache builds a plan against a per-campaign parse cache, so the
+// parses produced by the scan survive for the coverage and mutation
+// phases. The scan runs with one worker per available CPU; the plan is
+// deterministic regardless.
+func BuildFromCache(cache *scanner.ProjectCache, specs []faultmodel.Spec) (*Plan, error) {
 	models, err := faultmodel.CompileAll(specs)
 	if err != nil {
 		return nil, err
 	}
-	points, err := scanner.ScanProject(files, models)
+	points, err := scanner.ScanCache(cache, models, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,7 @@ import (
 	"profipy/internal/interp"
 	"profipy/internal/kvclient"
 	"profipy/internal/sandbox"
+	"profipy/internal/scanner"
 	"profipy/internal/scheduler"
 	"profipy/internal/workload"
 )
@@ -275,12 +276,10 @@ func (s *Server) buildCampaign(req CampaignRequest) (*campaign.Campaign, string,
 	}
 
 	files := make(map[string][]byte, len(proj.Files))
-	names := make([]string, 0, len(proj.Files))
 	for name, content := range proj.Files {
 		files[name] = []byte(content)
-		names = append(names, name)
 	}
-	sort.Strings(names)
+	names := scanner.SortedNames(files)
 	wlFiles := req.WorkloadFiles
 	if len(wlFiles) == 0 {
 		wlFiles = names

@@ -38,8 +38,19 @@ func (s State) String() string {
 // resource profile used by the scheduler.
 type Image struct {
 	Name string
-	// Files are copied into each container's filesystem at create time.
+	// Files is the base layer loaded into each container's filesystem at
+	// create time. The byte slices are shared, not copied — an experiment
+	// batch deploys the same multi-megabyte target into every container,
+	// so the image layers are treated as immutable while containers
+	// exist (the FS copies on every write and read, so containers can
+	// never alias them back out).
 	Files map[string][]byte
+	// Overlay is an optional copy-on-write layer applied over Files:
+	// entries here shadow same-named base files. A campaign experiment
+	// deploys the shared base plus a one-file overlay holding its
+	// mutated source, instead of copying the whole file map per
+	// experiment.
+	Overlay map[string][]byte
 	// MemMB and IOMBps are the per-container resource estimates feeding
 	// the PAIN backpressure rule.
 	MemMB  int

@@ -31,6 +31,16 @@ func (f *FS) Write(path string, data []byte) {
 	f.files[path] = append([]byte(nil), data...)
 }
 
+// preload stores a file without copying, aliasing the caller's bytes.
+// Only container creation uses it, to share immutable image layers across
+// a whole experiment batch; the exported Write/Read copy in both
+// directions, so the aliased bytes can never be mutated through the FS.
+func (f *FS) preload(path string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[path] = data
+}
+
 // Read returns a file's contents.
 func (f *FS) Read(path string) ([]byte, error) {
 	f.mu.Lock()

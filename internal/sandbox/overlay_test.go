@@ -1,0 +1,71 @@
+package sandbox
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestImageOverlayShadowsBase: overlay entries win over same-named base
+// files, and base-only files remain visible.
+func TestImageOverlayShadowsBase(t *testing.T) {
+	rt := NewRuntime(RuntimeConfig{Cores: 2})
+	img := Image{
+		Name: "kv",
+		Files: map[string][]byte{
+			"client.go": []byte("base client"),
+			"util.go":   []byte("base util"),
+		},
+		Overlay: map[string][]byte{"client.go": []byte("mutated client")},
+	}
+	c := rt.Create(img)
+	defer func() { _ = rt.Destroy(c) }()
+	if data, err := c.FS.Read("client.go"); err != nil || string(data) != "mutated client" {
+		t.Fatalf("overlay did not shadow base: %q %v", data, err)
+	}
+	if data, err := c.FS.Read("util.go"); err != nil || string(data) != "base util" {
+		t.Fatalf("base layer lost: %q %v", data, err)
+	}
+}
+
+// TestImageLayersStayImmutable: the container filesystem shares image
+// bytes without copying, so a container write must never leak back into
+// the image layers, and FS reads must never hand out aliases of them.
+func TestImageLayersStayImmutable(t *testing.T) {
+	rt := NewRuntime(RuntimeConfig{Cores: 2})
+	base := []byte("base bytes")
+	over := []byte("overlay bytes")
+	img := Image{
+		Name:    "kv",
+		Files:   map[string][]byte{"a.go": base},
+		Overlay: map[string][]byte{"b.go": over},
+	}
+	c1 := rt.Create(img)
+	defer func() { _ = rt.Destroy(c1) }()
+	c2 := rt.Create(img)
+	defer func() { _ = rt.Destroy(c2) }()
+
+	// Writing through the container replaces its entry; the image maps
+	// and the sibling container are untouched.
+	c1.FS.Write("a.go", []byte("scribbled"))
+	if !bytes.Equal(img.Files["a.go"], []byte("base bytes")) {
+		t.Fatal("container write leaked into the image base layer")
+	}
+	if data, _ := c2.FS.Read("a.go"); string(data) != "base bytes" {
+		t.Fatalf("sibling container sees %q, want the image bytes", data)
+	}
+
+	// Mutating the slice a read returned must not reach the image.
+	data, err := c2.FS.Read("b.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 'x'
+	}
+	if !bytes.Equal(img.Overlay["b.go"], []byte("overlay bytes")) {
+		t.Fatal("read alias reached the image overlay")
+	}
+	if fresh, _ := c2.FS.Read("b.go"); string(fresh) != "overlay bytes" {
+		t.Fatalf("container file corrupted through a read alias: %q", fresh)
+	}
+}

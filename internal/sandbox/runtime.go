@@ -73,7 +73,10 @@ func (r *Runtime) CreateSeeded(img Image, seed int64) *Container {
 		env:     make(map[string]any),
 	}
 	for p, d := range img.Files {
-		c.FS.Write(p, d)
+		c.FS.preload(p, d)
+	}
+	for p, d := range img.Overlay {
+		c.FS.preload(p, d)
 	}
 	r.active[c.ID] = c
 	return c

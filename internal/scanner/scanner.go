@@ -9,6 +9,9 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"runtime"
+	"sync"
+	"unicode/utf8"
 
 	"profipy/internal/pattern"
 )
@@ -147,11 +150,37 @@ func ParseSource(fset *token.FileSet, filename string, src []byte) (*ast.File, e
 	return f, nil
 }
 
+// snippetMax bounds injection-point snippet length (bytes, before the
+// ellipsis).
+const snippetMax = 120
+
+// truncateSnippet cuts a snippet to at most max bytes without splitting a
+// UTF-8 rune mid-sequence: the cut backs up to the nearest rune boundary.
+func truncateSnippet(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	cut := max
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut] + "..."
+}
+
 // ScanFile finds all matches of the given meta-models in a parsed file.
 // Matches are enumerated deterministically: per spec, per statement list
 // (DFS order), per start index.
 func ScanFile(fset *token.FileSet, filename string, f *ast.File, specs []*pattern.MetaModel) []InjectionPoint {
-	lists := CollectLists(f)
+	return scanLists(fset, filename, CollectLists(f), specs)
+}
+
+// ScanParsed scans a cached parse, reusing its pre-collected statement
+// lists across every spec.
+func ScanParsed(pf *ParsedFile, specs []*pattern.MetaModel) []InjectionPoint {
+	return scanLists(pf.Fset, pf.Name, pf.Lists, specs)
+}
+
+func scanLists(fset *token.FileSet, filename string, lists []StmtList, specs []*pattern.MetaModel) []InjectionPoint {
 	var points []InjectionPoint
 	for _, mm := range specs {
 		for li, sl := range lists {
@@ -162,10 +191,6 @@ func ScanFile(fset *token.FileSet, filename string, f *ast.File, specs []*patter
 					continue
 				}
 				pos := fset.Position(stmts[start].Pos())
-				snippet := pattern.StmtString(fset, stmts[start])
-				if len(snippet) > 120 {
-					snippet = snippet[:120] + "..."
-				}
 				points = append(points, InjectionPoint{
 					Spec:      mm.Name,
 					File:      filename,
@@ -174,7 +199,7 @@ func ScanFile(fset *token.FileSet, filename string, f *ast.File, specs []*patter
 					Start:     start,
 					N:         n,
 					Line:      pos.Line,
-					Snippet:   snippet,
+					Snippet:   truncateSnippet(pattern.StmtString(fset, stmts[start]), snippetMax),
 				})
 			}
 		}
@@ -193,30 +218,83 @@ func ScanSource(filename string, src []byte, specs []*pattern.MetaModel) ([]Inje
 }
 
 // ScanProject scans a set of named source files (filename -> contents)
-// with a set of specs. Files are processed in sorted-name order so the
-// resulting plan is deterministic.
+// with a set of specs, using one worker per available CPU. The output is
+// deterministic: points appear in sorted-file-name order regardless of
+// worker count or scheduling.
 func ScanProject(files map[string][]byte, specs []*pattern.MetaModel) ([]InjectionPoint, error) {
-	names := sortedKeys(files)
-	var all []InjectionPoint
-	for _, name := range names {
-		pts, err := ScanSource(name, files[name], specs)
-		if err != nil {
-			return nil, err
+	return ScanCache(NewProjectCache(files), specs, 0)
+}
+
+// ScanProjectParallel scans with an explicit worker count (0 = one per
+// available CPU).
+func ScanProjectParallel(files map[string][]byte, specs []*pattern.MetaModel, workers int) ([]InjectionPoint, error) {
+	return ScanCache(NewProjectCache(files), specs, workers)
+}
+
+// ScanCache scans every file of a project cache with a worker pool,
+// leaving the parses behind for the coverage and mutation phases. Results
+// are concatenated in sorted-file-name order; when several files fail to
+// parse, the error of the first failing file (in that same order) is
+// returned, so error reporting is deterministic too.
+func ScanCache(cache *ProjectCache, specs []*pattern.MetaModel, workers int) ([]InjectionPoint, error) {
+	names := cache.Names()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	perFile := make([][]InjectionPoint, len(names))
+	errs := make([]error, len(names))
+	if workers == 1 {
+		for i, name := range names {
+			perFile[i], errs[i] = scanCached(cache, name, specs)
 		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					perFile[i], errs[i] = scanCached(cache, names[i], specs)
+				}
+			}()
+		}
+		for i := range names {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	total := 0
+	for i := range names {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		total += len(perFile[i])
+	}
+	all := make([]InjectionPoint, 0, total)
+	for _, pts := range perFile {
 		all = append(all, pts...)
 	}
 	return all, nil
 }
 
-func sortedKeys(m map[string][]byte) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+func scanCached(cache *ProjectCache, name string, specs []*pattern.MetaModel) ([]InjectionPoint, error) {
+	pf, err := cache.Get(name)
+	if err != nil {
+		return nil, err
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
-	return keys
+	return ScanParsed(pf, specs), nil
+}
+
+func errNoSuchFile(name string) error {
+	return fmt.Errorf("scanner: no such file in project: %s", name)
 }
