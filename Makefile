@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_PKGS = ./internal/scanner/ ./internal/pattern/ ./internal/mutator/
+BENCH_PKGS = ./internal/scanner/ ./internal/pattern/ ./internal/mutator/ ./internal/interp/
 
-.PHONY: build vet test race bench bench-all
+.PHONY: build vet test race bench bench-exec bench-all
 
 build:
 	$(GO) build ./...
@@ -16,12 +16,19 @@ race:
 	$(GO) test -race ./...
 
 # Engine benchmarks: scan throughput, match-engine hot paths, cached
-# mutation. Writes bench.txt so CI can upload it as an artifact and the
-# perf trajectory stays comparable across PRs. No pipe to tee: the
-# recipe must fail when go test fails.
-bench:
+# mutation, interpreter round execution (tree-walk vs compiled). Writes
+# bench.txt so CI can upload it as an artifact and the perf trajectory
+# stays comparable across PRs. No pipe to tee: the recipe must fail when
+# go test fails. Also emits the machine-readable execute-phase results
+# (BENCH_exec.json) via bench-exec.
+bench: bench-exec
 	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) > bench.txt 2>&1; \
 	  status=$$?; cat bench.txt; exit $$status
+
+# End-to-end execute-phase benchmark: campaign throughput and two-round
+# experiment latency, compiled vs tree-walk, as machine-readable JSON.
+bench-exec:
+	PROFIPY_BENCH_JSON=$(CURDIR)/BENCH_exec.json $(GO) test -run TestEmitExecBenchJSON -count=1 .
 
 # Everything, including the paper-evaluation campaign benchmarks at the
 # repository root (slow).

@@ -1,0 +1,202 @@
+// End-to-end execute-phase benchmarks for the compile-once/run-many
+// interpreter (PR "compile-once execute-many"): campaign throughput in
+// experiments per second, compiled vs tree-walk, plus the equivalence
+// gate asserting byte-identical campaign records between the two paths.
+//
+// TestEmitExecBenchJSON (gated by PROFIPY_BENCH_JSON) writes the
+// machine-readable BENCH_exec.json consumed by `make bench` and CI, so
+// the execute-phase perf trajectory is tracked from this PR on.
+package profipy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"profipy/internal/campaign"
+	"profipy/internal/interp"
+	"profipy/internal/kvclient"
+	"profipy/internal/workload"
+)
+
+// runCampaignMode runs one §V-A campaign in the given interpreter mode.
+func runCampaignMode(tb testing.TB, treeWalk bool, seed int64) *campaign.Result {
+	tb.Helper()
+	rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+	c := kvclient.CampaignA(rt, seed)
+	c.TreeWalk = treeWalk
+	res, err := c.Run()
+	if err != nil {
+		tb.Fatalf("campaign (treeWalk=%v): %v", treeWalk, err)
+	}
+	return res
+}
+
+// TestCompiledCampaignEquivalence runs the same campaigns through the
+// compiled path and the tree-walk and asserts byte-identical records
+// (rounds, exceptions, step counts, virtual clocks, logs) — the
+// whole-system form of the interp equivalence suite.
+func TestCompiledCampaignEquivalence(t *testing.T) {
+	builds := []struct {
+		name  string
+		build func(rt *Runtime, seed int64) *campaign.Campaign
+		seed  int64
+	}{
+		{"campaign-a", kvclient.CampaignA, 101},
+		{"campaign-b", kvclient.CampaignB, 202},
+		{"campaign-c", kvclient.CampaignC, 303},
+	}
+	for _, bc := range builds {
+		t.Run(bc.name, func(t *testing.T) {
+			var out [2][]byte
+			var reports [2][]byte
+			for i, treeWalk := range []bool{false, true} {
+				rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+				c := bc.build(rt, bc.seed)
+				c.TreeWalk = treeWalk
+				res, err := c.Run()
+				if err != nil {
+					t.Fatalf("treeWalk=%v: %v", treeWalk, err)
+				}
+				recs, err := json.Marshal(res.Records)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := json.Marshal(res.Report)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[i] = recs
+				reports[i] = rep
+			}
+			if !bytes.Equal(out[0], out[1]) {
+				t.Errorf("records differ between compiled and tree-walk execution")
+			}
+			if !bytes.Equal(reports[0], reports[1]) {
+				t.Errorf("reports differ between compiled and tree-walk execution")
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignExecution measures end-to-end campaign throughput
+// (scan + coverage + all experiments + analysis) in experiments per
+// wall second, compiled vs the tree-walk baseline.
+func BenchmarkCampaignExecution(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		treeWalk bool
+	}{{"compiled", false}, {"tree-walk", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			experiments := 0
+			for i := 0; i < b.N; i++ {
+				res := runCampaignMode(b, mode.treeWalk, 101)
+				experiments = len(res.Records)
+			}
+			b.ReportMetric(float64(experiments*b.N)/b.Elapsed().Seconds(), "experiments/s")
+			b.ReportMetric(float64(experiments), "experiments")
+		})
+	}
+}
+
+// execBenchResult is one row of BENCH_exec.json.
+type execBenchResult struct {
+	Name             string  `json:"name"`
+	NsPerOp          float64 `json:"nsPerOp"`
+	AllocsPerOp      int64   `json:"allocsPerOp"`
+	BytesPerOp       int64   `json:"bytesPerOp"`
+	ExperimentsPerSc float64 `json:"experimentsPerSec,omitempty"`
+}
+
+// TestEmitExecBenchJSON measures the execute phase in both modes and
+// writes machine-readable results to the path in PROFIPY_BENCH_JSON
+// (skipped otherwise). `make bench` and the CI bench job run it and
+// archive the artifact.
+func TestEmitExecBenchJSON(t *testing.T) {
+	path := os.Getenv("PROFIPY_BENCH_JSON")
+	if path == "" {
+		t.Skip("set PROFIPY_BENCH_JSON=<path> to emit the exec benchmark artifact")
+	}
+
+	var rows []execBenchResult
+	measureCampaign := func(name string, treeWalk bool) {
+		experiments := 0
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runCampaignMode(b, treeWalk, 101)
+				experiments = len(res.Records)
+			}
+		})
+		row := execBenchResult{
+			Name:        name,
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}
+		if br.NsPerOp() > 0 {
+			row.ExperimentsPerSc = float64(experiments) * 1e9 / float64(br.NsPerOp())
+		}
+		rows = append(rows, row)
+	}
+	measureCampaign("campaign-exec/compiled", false)
+	measureCampaign("campaign-exec/tree-walk", true)
+
+	measureRound := func(name string, treeWalk bool) {
+		files := kvclient.Sources()
+		cfg := kvclient.WorkloadConfig()
+		if !treeWalk {
+			units := make([]interp.SourceUnit, 0, len(cfg.Files))
+			for _, f := range cfg.Files {
+				units = append(units, interp.SourceUnit{Name: f, Src: files[f]})
+			}
+			prog, err := interp.CompileProgram(units)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Program = prog
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			rt := NewRuntime(RuntimeConfig{Cores: 2, Seed: 7})
+			img := kvclient.Image()
+			img.Files = files
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctr := rt.CreateSeeded(img, 7)
+				if _, err := workload.Run(ctr, cfg); err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Destroy(ctr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, execBenchResult{
+			Name:        name,
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		})
+	}
+	measureRound("experiment-two-rounds/compiled", false)
+	measureRound("experiment-two-rounds/tree-walk", true)
+
+	out := struct {
+		Benchmarks []execBenchResult `json:"benchmarks"`
+		Speedup    map[string]string `json:"speedup"`
+	}{Benchmarks: rows, Speedup: map[string]string{}}
+	for i := 0; i+1 < len(rows); i += 2 {
+		if rows[i].NsPerOp > 0 {
+			out.Speedup[rows[i].Name] = fmt.Sprintf("%.2fx", rows[i+1].NsPerOp/rows[i].NsPerOp)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", path, data)
+}

@@ -14,6 +14,7 @@ import (
 	"profipy/internal/analysis"
 	"profipy/internal/coverage"
 	"profipy/internal/faultmodel"
+	"profipy/internal/interp"
 	"profipy/internal/mutator"
 	"profipy/internal/pattern"
 	"profipy/internal/plan"
@@ -48,6 +49,10 @@ type Campaign struct {
 	// SampleN caps the number of experiments (0 = no cap); sampling is
 	// deterministic under Seed.
 	SampleN int
+	// TreeWalk forces the per-round tree-walk interpreter instead of the
+	// compile-once program (used by equivalence tests and benchmarks;
+	// results are identical, execution is several times slower).
+	TreeWalk bool
 	// Analysis configures failure classification and metrics.
 	Analysis analysis.Config
 	// TraceHook, when set, is called on every experiment container to
@@ -135,10 +140,18 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
 	}
 
+	// Compile the unmutated base files once for the whole campaign
+	// (reusing the scan-phase parses); every round of every experiment
+	// then runs compiled code, and each experiment recompiles only its
+	// single mutated file. On any compile failure the workload falls
+	// back to the per-round tree-walk with identical semantics.
+	wcfg := c.Workload
+	wcfg.Program = c.compileBase(cache)
+
 	// --- Coverage analysis (fault-free instrumented run) ---
 	c.progress(PhaseCoverage, 0, len(pl.Points))
 	covStart := time.Now()
-	covered, err := coverage.AnalyzeCached(c.Runtime, c.Image, c.Files, cache, pl.Points, c.Workload)
+	covered, err := coverage.AnalyzeCached(c.Runtime, c.Image, c.Files, cache, pl.Points, wcfg)
 	if err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
 	}
@@ -165,7 +178,7 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 		if ctx.Err() != nil {
 			return analysis.Record{Point: execPoints[i], FaultType: pl.TypeOf(execPoints[i])}
 		}
-		rec := c.runExperiment(cache, execPoints[i], models, pl, covered, int64(i))
+		rec := c.runExperiment(cache, wcfg, execPoints[i], models, pl, covered, int64(i))
 		c.progress(PhaseExecute, int(done.Add(1)), len(execPoints))
 		return rec
 	})
@@ -191,11 +204,13 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 }
 
 // runExperiment executes one fault injection experiment: generate the
-// mutated version (from the campaign's shared parse cache), deploy a
-// container with it, run the two-round workload, collect results, tear
-// the container down.
-func (c *Campaign) runExperiment(cache *scanner.ProjectCache, pt scanner.InjectionPoint,
-	models map[string]*pattern.MetaModel, pl *plan.Plan, covered map[string]bool, idx int64) analysis.Record {
+// mutated version (from the campaign's shared parse cache), derive the
+// experiment's compiled program (base units shared, mutated file
+// recompiled — memoized by content hash), deploy a container, run the
+// two-round workload, collect results, tear the container down.
+func (c *Campaign) runExperiment(cache *scanner.ProjectCache, wcfg workload.Config,
+	pt scanner.InjectionPoint, models map[string]*pattern.MetaModel, pl *plan.Plan,
+	covered map[string]bool, idx int64) analysis.Record {
 
 	rec := analysis.Record{Point: pt, FaultType: pl.TypeOf(pt), Covered: covered[pt.ID()]}
 	mm, ok := models[pt.Spec]
@@ -224,12 +239,53 @@ func (c *Campaign) runExperiment(cache *scanner.ProjectCache, pt scanner.Injecti
 		c.TraceHook(ctr)
 	}
 
-	result, err := workload.Run(ctr, c.Workload)
+	if wcfg.Program != nil {
+		if prog, perr := wcfg.Program.WithFiles(map[string][]byte{pt.File: mut.Source}); perr == nil {
+			wcfg.Program = prog
+		} else {
+			// A mutated source the compiler rejects would not tree-walk
+			// load either; fall back so the error surfaces the same way
+			// (an infrastructure error on this experiment only).
+			wcfg.Program = nil
+		}
+	}
+	result, err := workload.Run(ctr, wcfg)
 	if err != nil {
 		return rec
 	}
 	rec.Result = result
 	return rec
+}
+
+// compileBase builds the campaign's compiled base program from the
+// workload's file list, reusing the scan cache's parses when the scan
+// covered those files (no re-parse in the container). Returns nil — the
+// tree-walk fallback — when compilation is disabled or fails; the
+// fallback is semantically identical, only slower.
+func (c *Campaign) compileBase(scanCache *scanner.ProjectCache) *interp.Program {
+	if c.TreeWalk || len(c.Workload.Files) == 0 {
+		return nil
+	}
+	units := make([]interp.SourceUnit, 0, len(c.Workload.Files))
+	for _, name := range c.Workload.Files {
+		// Reuse the scan-phase parse when the file was scanned; files
+		// outside the scan subset (workload scripts) are parsed by the
+		// compiler itself.
+		if pf, err := scanCache.Get(name); err == nil {
+			units = append(units, interp.SourceUnit{Name: name, Src: pf.Src, AST: pf.File})
+			continue
+		}
+		src, ok := c.Files[name]
+		if !ok {
+			return nil
+		}
+		units = append(units, interp.SourceUnit{Name: name, Src: src})
+	}
+	prog, err := interp.CompileProgram(units)
+	if err != nil {
+		return nil
+	}
+	return prog
 }
 
 func (c *Campaign) scanSubset() map[string][]byte {

@@ -58,6 +58,15 @@ func AnalyzeCached(rt *sandbox.Runtime, img sandbox.Image, files map[string][]by
 	covCfg := cfg
 	covCfg.Rounds = 1
 	covCfg.FaultFree = true
+	if covCfg.Program != nil {
+		// Compiled execution: derive a program with the instrumented
+		// units swapped in (unchanged units stay shared with the base).
+		prog, err := covCfg.Program.WithFiles(instrumented)
+		if err != nil {
+			return nil, fmt.Errorf("coverage: compile instrumented: %w", err)
+		}
+		covCfg.Program = prog
+	}
 	res, err := workload.Run(c, covCfg)
 	if err != nil {
 		return nil, fmt.Errorf("coverage: fault-free run: %w", err)

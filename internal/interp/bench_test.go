@@ -1,0 +1,232 @@
+package interp
+
+import (
+	"testing"
+)
+
+// benchSource is a representative workload round: request loops over
+// maps and lists, string handling, helper calls, closures, defers and a
+// recovered exception — the mix the kvclient workload exercises.
+const benchSource = `package main
+
+var calls = 0
+
+func handle(key string, store any) any {
+	calls = calls + 1
+	if len(key) == 0 {
+		throw("KeyError", "empty key")
+	}
+	v, ok := store[key]
+	if !ok {
+		store[key] = 0
+		v = 0
+	}
+	store[key] = v + 1
+	return store[key]
+}
+
+func batch(n int) any {
+	store := map[string]any{}
+	keys := []any{"alpha", "beta", "gamma", "delta"}
+	total := 0
+	for i := 0; i < n; i++ {
+		for _, k := range keys {
+			total += handle(k, store)
+		}
+	}
+	return total
+}
+
+func guarded(n int) any {
+	out := 0
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				out = -1
+			}
+		}()
+		out = batch(n)
+	}()
+	return out
+}
+
+func Workload() any {
+	acc := 0
+	for round := 0; round < 4; round++ {
+		acc += guarded(8)
+	}
+	parts := []any{}
+	for i := 0; i < 16; i++ {
+		parts = append(parts, "k"+str(i%4))
+	}
+	s := ""
+	for _, p := range parts {
+		s = s + p
+	}
+	return str(acc) + ":" + s[0:8]
+}
+`
+
+// BenchmarkRoundTreeWalk measures one full workload round on the
+// tree-walk path: parse + load + execute, which is what every round of
+// every experiment paid before the compile layer.
+func BenchmarkRoundTreeWalk(b *testing.B) {
+	src := []byte(benchSource)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := New(Config{})
+		if err := it.LoadSource("w.go", src); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := it.Call("Workload"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundCompiled measures one full workload round on the
+// compiled path: the program is compiled once per campaign, so a round
+// costs NewRun + Boot + execute.
+func BenchmarkRoundCompiled(b *testing.B) {
+	prog, err := CompileProgram([]SourceUnit{{Name: "w.go", Src: []byte(benchSource)}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := NewRun(prog, Config{})
+		if err := it.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := it.Call("Workload"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecTreeWalk / BenchmarkExecCompiled isolate pure execution
+// (front-end work done once outside the loop) — the slot-frame runtime
+// against the Scope-chain tree-walk.
+func BenchmarkExecTreeWalk(b *testing.B) {
+	it := New(Config{MaxSteps: 1 << 60})
+	if err := it.LoadSource("w.go", []byte(benchSource)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := it.Call("Workload"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecCompiled(b *testing.B) {
+	prog, err := CompileProgram([]SourceUnit{{Name: "w.go", Src: []byte(benchSource)}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	it := NewRun(prog, Config{MaxSteps: 1 << 60})
+	if err := it.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := it.Call("Workload"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileProgram measures the one-time compile cost a campaign
+// amortizes over all rounds and experiments.
+func BenchmarkCompileProgram(b *testing.B) {
+	src := []byte(benchSource)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileProgram([]SourceUnit{{Name: "w.go", Src: src}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledCallHotPath isolates the pooled slot-frame call path
+// with small-int arithmetic (values stay in the runtime's small-value
+// cache), so allocs/op reflects frame setup only.
+func BenchmarkCompiledCallHotPath(b *testing.B) {
+	prog, err := CompileProgram([]SourceUnit{{Name: "w.go", Src: []byte(`package main
+func Hot() any {
+	count := 0
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			count++
+		}
+	}
+	return count
+}`)}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	it := NewRun(prog, Config{MaxSteps: 1 << 60})
+	if err := it.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := it.Call("Hot"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCompiledHotPathAllocs asserts the sync.Pool'd frame path: the
+// compiled hot loop must allocate far less than the tree-walk (which
+// builds a Scope map per block per iteration) and stay under a fixed
+// small bound per call.
+func TestCompiledHotPathAllocs(t *testing.T) {
+	src := []byte(`package main
+func Hot() any {
+	count := 0
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			count++
+		}
+	}
+	return count
+}`)
+	prog, err := CompileProgram([]SourceUnit{{Name: "w.go", Src: src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crun := NewRun(prog, Config{MaxSteps: 1 << 60})
+	if err := crun.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	compiled := testing.AllocsPerRun(200, func() {
+		if _, err := crun.Call("Hot"); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	tw := New(Config{MaxSteps: 1 << 60})
+	if err := tw.LoadSource("w.go", src); err != nil {
+		t.Fatal(err)
+	}
+	tree := testing.AllocsPerRun(200, func() {
+		if _, err := tw.Call("Hot"); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Logf("allocs/call: compiled=%.1f tree-walk=%.1f", compiled, tree)
+	if compiled > 8 {
+		t.Errorf("compiled hot path allocates %.1f/call, want <= 8 (pooled frames)", compiled)
+	}
+	if compiled*20 > tree {
+		t.Errorf("compiled hot path allocates %.1f/call vs tree-walk %.1f — expected >= 20x reduction",
+			compiled, tree)
+	}
+}

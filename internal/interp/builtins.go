@@ -6,19 +6,29 @@ import (
 	"strings"
 )
 
+// builtinFuncs is the single source of truth for the global builtins:
+// registerBuiltins binds them and the compiler treats the names as
+// statically known globals when deciding whether an assigned name is a
+// function-root local, so the two can never drift apart.
+var builtinFuncs = map[string]func(it *Interp, args []Value) (Value, error){
+	"len":      builtinLen,
+	"append":   builtinAppend,
+	"delete":   builtinDelete,
+	"print":    builtinPrint,
+	"println":  builtinPrintln,
+	"str":      builtinStr,
+	"int":      builtinInt,
+	"throw":    builtinThrow,
+	"keys":     builtinKeys,
+	"contains": builtinContains,
+}
+
 // registerBuiltins installs the global builtins and the standard host
 // modules every minigo program can import: fmt and strlib.
 func registerBuiltins(it *Interp) {
-	it.RegisterHostFunc("len", builtinLen)
-	it.RegisterHostFunc("append", builtinAppend)
-	it.RegisterHostFunc("delete", builtinDelete)
-	it.RegisterHostFunc("print", builtinPrint)
-	it.RegisterHostFunc("println", builtinPrintln)
-	it.RegisterHostFunc("str", builtinStr)
-	it.RegisterHostFunc("int", builtinInt)
-	it.RegisterHostFunc("throw", builtinThrow)
-	it.RegisterHostFunc("keys", builtinKeys)
-	it.RegisterHostFunc("contains", builtinContains)
+	for name, fn := range builtinFuncs {
+		it.RegisterHostFunc(name, fn)
+	}
 
 	fmtMod := NewModule("fmt")
 	fmtMod.Func("Sprintf", func(it *Interp, args []Value) (Value, error) {

@@ -926,33 +926,7 @@ func (it *Interp) evalIndex(x *ast.IndexExpr, sc *Scope) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch c := container.(type) {
-	case *List:
-		i, ok := key.(int64)
-		if !ok {
-			return nil, it.throw("TypeError", "list index must be int, not "+TypeName(key))
-		}
-		if i < 0 || int(i) >= len(c.Elems) {
-			return nil, it.throw("IndexError", "list index out of range")
-		}
-		return c.Elems[i], nil
-	case *Map:
-		v, _ := c.Get(key)
-		return v, nil
-	case string:
-		i, ok := key.(int64)
-		if !ok {
-			return nil, it.throw("TypeError", "string index must be int, not "+TypeName(key))
-		}
-		if i < 0 || int(i) >= len(c) {
-			return nil, it.throw("IndexError", "string index out of range")
-		}
-		return string(c[i]), nil
-	case nil:
-		return nil, it.throw("TypeError", "nil object is not subscriptable")
-	default:
-		return nil, it.throw("TypeError", TypeName(container)+" object is not subscriptable")
-	}
+	return indexValue(it, container, key)
 }
 
 func (it *Interp) evalSlice(x *ast.SliceExpr, sc *Scope) (Value, error) {

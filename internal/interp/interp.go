@@ -65,6 +65,13 @@ type Interp struct {
 
 	stdout io.Writer
 	frames []*frame
+
+	// Compiled-execution state (NewRun): the program, the flat global
+	// slot array indexed by the program's symbol table, and the side
+	// table for host-registered names compiled code never references.
+	prog   *Program
+	gslots []Value
+	extras map[string]Value
 }
 
 type frame struct {
@@ -78,18 +85,24 @@ type deferredCall struct {
 	args []Value
 }
 
-// New creates an interpreter with the given configuration.
-func New(cfg Config) *Interp {
+// withDefaults normalizes a Config; New and NewRun must share it so the
+// tree-walk and compiled paths always run under the same budgets.
+func (cfg Config) withDefaults() Config {
 	if cfg.StepNS <= 0 {
 		cfg.StepNS = 1000 // 1µs of virtual time per step
 	}
 	if cfg.MaxSteps <= 0 {
 		cfg.MaxSteps = 50_000_000
 	}
-	out := cfg.Stdout
-	if out == nil {
-		out = io.Discard
+	if cfg.Stdout == nil {
+		cfg.Stdout = io.Discard
 	}
+	return cfg
+}
+
+// New creates an interpreter with the given configuration.
+func New(cfg Config) *Interp {
+	cfg = cfg.withDefaults()
 	it := &Interp{
 		fset:       token.NewFileSet(),
 		globals:    NewScope(nil),
@@ -98,7 +111,7 @@ func New(cfg Config) *Interp {
 		stepNS:     cfg.StepNS,
 		deadlineNS: cfg.DeadlineNS,
 		maxSteps:   cfg.MaxSteps,
-		stdout:     out,
+		stdout:     cfg.Stdout,
 	}
 	registerBuiltins(it)
 	return it
@@ -109,11 +122,17 @@ func (it *Interp) RegisterModule(m *Module) { it.modules[m.Name] = m }
 
 // RegisterGlobal binds a name in the global scope (used for fault hooks
 // such as __fault_enabled and __corrupt).
-func (it *Interp) RegisterGlobal(name string, v Value) { it.globals.Define(name, v) }
+func (it *Interp) RegisterGlobal(name string, v Value) {
+	if it.prog != nil {
+		it.defineGlobal(name, v)
+		return
+	}
+	it.globals.Define(name, v)
+}
 
 // RegisterHostFunc binds a global host function.
 func (it *Interp) RegisterHostFunc(name string, fn func(it *Interp, args []Value) (Value, error)) {
-	it.globals.Define(name, &HostFunc{Name: name, Fn: fn})
+	it.RegisterGlobal(name, &HostFunc{Name: name, Fn: fn})
 }
 
 // Clock returns the current virtual time in nanoseconds.
@@ -249,11 +268,16 @@ func paramNames(ft *ast.FuncType) []string {
 }
 
 // Global returns the value bound to a global name.
-func (it *Interp) Global(name string) (Value, bool) { return it.globals.Lookup(name) }
+func (it *Interp) Global(name string) (Value, bool) {
+	if it.prog != nil {
+		return it.lookupGlobal(name)
+	}
+	return it.globals.Lookup(name)
+}
 
 // Call invokes a loaded function by name with the given arguments.
 func (it *Interp) Call(name string, args ...Value) (Value, error) {
-	fn, ok := it.globals.Lookup(name)
+	fn, ok := it.Global(name)
 	if !ok {
 		return nil, fmt.Errorf("interp: undefined function %q", name)
 	}
@@ -270,6 +294,8 @@ func (it *Interp) call(fn Value, args []Value) (Value, error) {
 		return f.Fn(it, args)
 	case *Closure:
 		return it.callClosure(f, args)
+	case *compiledClosure:
+		return it.callCompiled(f, args)
 	case nil:
 		return nil, it.throw("AttributeError", "nil object is not callable")
 	default:

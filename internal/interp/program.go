@@ -1,0 +1,528 @@
+package interp
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"sync"
+)
+
+// SourceUnit is one target file handed to the compiler. When AST is set
+// it is used as-is (the campaign passes the scanner's cached parse, so a
+// file is parsed once per campaign); otherwise Src is parsed. The AST is
+// treated as read-only and may be shared across goroutines.
+type SourceUnit struct {
+	Name string
+	Src  []byte
+	AST  *ast.File
+}
+
+// linker is the program-wide symbol table plus the content-hash unit
+// cache shared by a base program and every derived (mutated) program of
+// a campaign. Interning happens at compile time under the lock; compiled
+// code carries baked indices and never touches the linker at run time.
+type linker struct {
+	mu    sync.Mutex
+	names []string
+	idx   map[string]int
+	units map[[sha256.Size]byte]*unit
+}
+
+func newLinker() *linker {
+	return &linker{idx: make(map[string]int), units: make(map[[sha256.Size]byte]*unit)}
+}
+
+func (l *linker) intern(name string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i, ok := l.idx[name]; ok {
+		return i
+	}
+	i := len(l.names)
+	l.names = append(l.names, name)
+	l.idx[name] = i
+	return i
+}
+
+func (l *linker) lookup(name string) (int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i, ok := l.idx[name]
+	return i, ok
+}
+
+func (l *linker) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.names)
+}
+
+func (l *linker) cachedUnit(key [sha256.Size]byte) (*unit, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	u, ok := l.units[key]
+	return u, ok
+}
+
+func (l *linker) storeUnit(key [sha256.Size]byte, u *unit) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.units[key] = u
+}
+
+// importBind records one import declaration: at boot the registered
+// module for path is stored into the bound global slot.
+type importBind struct {
+	gidx int
+	path string
+	name string
+}
+
+// initOp is one top-level declaration, executed at boot in source order:
+// either a function binding or a var/const initializer.
+type initOp struct {
+	gidx int
+	name string
+	fn   *compiledClosure // function binding when non-nil
+	init cexpr            // var initializer; nil means zero value (nil)
+}
+
+// unit is the compiled form of one source file.
+type unit struct {
+	name     string
+	imports  []importBind
+	ops      []initOp
+	methods  map[string]map[string]*compiledFunc
+	topNames []string
+}
+
+// Program is a compiled, immutable minigo program: safe for concurrent
+// use, one compile serves unlimited rounds and experiments. Derived
+// programs (WithFiles) share unchanged units and the symbol table.
+type Program struct {
+	ln      *linker
+	units   []*unit
+	methods map[string]map[string]*compiledFunc
+	globals map[string]bool
+}
+
+// CompileProgram compiles an ordered file set (the workload's load
+// order) into a Program. Compilation errors mirror the tree-walk's
+// LoadSource errors; constructs the tree-walk reports lazily stay lazy.
+func CompileProgram(files []SourceUnit) (*Program, error) {
+	ln := newLinker()
+
+	// Phase 1: parse everything and collect the statically known global
+	// names (top-level declarations of every file, import-bound names and
+	// builtins). Function bodies resolve names against this set.
+	asts := make([]*ast.File, len(files))
+	globals := make(map[string]bool)
+	for b := range builtinFuncs {
+		globals[b] = true
+	}
+	for i, su := range files {
+		f := su.AST
+		if f == nil {
+			var err error
+			f, err = parser.ParseFile(token.NewFileSet(), su.Name, su.Src, parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("interp: parse %s: %w", su.Name, err)
+			}
+		}
+		asts[i] = f
+		for _, n := range topLevelNames(f) {
+			globals[n] = true
+		}
+	}
+
+	// Phase 2: compile each unit against the shared table.
+	p := &Program{ln: ln, globals: globals}
+	for i, su := range files {
+		c := &compiler{file: su.Name, syms: ln, globals: globals}
+		u, err := compileUnit(c, su.Name, asts[i])
+		if err != nil {
+			return nil, err
+		}
+		if len(su.Src) > 0 {
+			ln.storeUnit(unitKey(su.Name, su.Src), u)
+		}
+		p.units = append(p.units, u)
+	}
+	p.methods = mergeMethods(p.units)
+	return p, nil
+}
+
+// Files returns the unit names in load order.
+func (p *Program) Files() []string {
+	out := make([]string, len(p.units))
+	for i, u := range p.units {
+		out[i] = u.name
+	}
+	return out
+}
+
+// WithFiles derives a program with the named units recompiled from new
+// sources — the per-experiment "recompile only the mutated file" path.
+// Unchanged units and the symbol table are shared; recompiles are
+// memoized by content hash, so identical mutations compile once per
+// campaign. Overlay entries naming files outside the program are
+// ignored (the tree-walk never loads them either).
+func (p *Program) WithFiles(overlay map[string][]byte) (*Program, error) {
+	byName := make(map[string]int, len(p.units))
+	for i, u := range p.units {
+		byName[u.name] = i
+	}
+	np := &Program{ln: p.ln, globals: p.globals, units: append([]*unit(nil), p.units...)}
+	changed := false
+	for name, src := range overlay {
+		i, ok := byName[name]
+		if !ok {
+			continue
+		}
+		key := unitKey(name, src)
+		u, ok := p.ln.cachedUnit(key)
+		if !ok {
+			f, err := parser.ParseFile(token.NewFileSet(), name, src, parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("interp: parse %s: %w", name, err)
+			}
+			globals := p.globals
+			if extra := topLevelNames(f); hasNew(globals, extra) {
+				globals = cloneWith(globals, extra)
+			}
+			c := &compiler{file: name, syms: p.ln, globals: globals}
+			u, err = compileUnit(c, name, f)
+			if err != nil {
+				return nil, err
+			}
+			p.ln.storeUnit(key, u)
+		}
+		np.units[i] = u
+		changed = true
+	}
+	if !changed {
+		return p, nil
+	}
+	np.methods = mergeMethods(np.units)
+	return np, nil
+}
+
+func unitKey(name string, src []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write(src)
+	var key [sha256.Size]byte
+	copy(key[:], h.Sum(nil))
+	return key
+}
+
+func hasNew(set map[string]bool, names []string) bool {
+	for _, n := range names {
+		if !set[n] {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneWith(set map[string]bool, names []string) map[string]bool {
+	out := make(map[string]bool, len(set)+len(names))
+	for k := range set {
+		out[k] = true
+	}
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
+}
+
+func mergeMethods(units []*unit) map[string]map[string]*compiledFunc {
+	out := make(map[string]map[string]*compiledFunc)
+	for _, u := range units {
+		for tn, ms := range u.methods {
+			if out[tn] == nil {
+				out[tn] = make(map[string]*compiledFunc, len(ms))
+			}
+			for mn, fn := range ms {
+				out[tn][mn] = fn
+			}
+		}
+	}
+	return out
+}
+
+// topLevelNames lists the global names a file contributes: import-bound
+// names, function names and var/const names.
+func topLevelNames(f *ast.File) []string {
+	var out []string
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(name, "/"); i >= 0 {
+			name = name[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out = append(out, name)
+	}
+	for _, d := range f.Decls {
+		switch decl := d.(type) {
+		case *ast.FuncDecl:
+			if decl.Recv == nil || len(decl.Recv.List) == 0 {
+				out = append(out, decl.Name.Name)
+			}
+		case *ast.GenDecl:
+			if decl.Tok == token.VAR || decl.Tok == token.CONST {
+				for _, spec := range decl.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, n := range vs.Names {
+							out = append(out, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// compileUnit lowers one parsed file, mirroring LoadSource's declaration
+// walk (imports, then declarations in source order).
+func compileUnit(c *compiler, name string, f *ast.File) (*unit, error) {
+	u := &unit{name: name, topNames: topLevelNames(f)}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		bound := path
+		if i := strings.LastIndex(bound, "/"); i >= 0 {
+			bound = bound[i+1:]
+		}
+		if imp.Name != nil {
+			bound = imp.Name.Name
+		}
+		u.imports = append(u.imports, importBind{gidx: c.syms.intern(bound), path: path, name: bound})
+	}
+	for _, d := range f.Decls {
+		switch decl := d.(type) {
+		case *ast.FuncDecl:
+			if decl.Recv != nil && len(decl.Recv.List) > 0 {
+				typeName, recvName := recvInfo(decl)
+				if typeName == "" {
+					return nil, fmt.Errorf("interp: %s: unsupported receiver on %s", name, decl.Name.Name)
+				}
+				fn := c.compileFunc(nil, typeName+"."+decl.Name.Name, decl.Type, decl.Body, recvName)
+				if u.methods == nil {
+					u.methods = make(map[string]map[string]*compiledFunc)
+				}
+				if u.methods[typeName] == nil {
+					u.methods[typeName] = make(map[string]*compiledFunc)
+				}
+				u.methods[typeName][decl.Name.Name] = fn
+				continue
+			}
+			fn := c.compileFunc(nil, decl.Name.Name, decl.Type, decl.Body, "")
+			u.ops = append(u.ops, initOp{
+				gidx: c.syms.intern(decl.Name.Name),
+				name: decl.Name.Name,
+				fn:   &compiledClosure{fn: fn},
+			})
+		case *ast.GenDecl:
+			if decl.Tok == token.VAR || decl.Tok == token.CONST {
+				for _, spec := range decl.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, vn := range vs.Names {
+						op := initOp{gidx: c.syms.intern(vn.Name), name: vn.Name}
+						if i < len(vs.Values) {
+							op.init = c.compileExpr(nil, vs.Values[i])
+						}
+						u.ops = append(u.ops, op)
+					}
+				}
+			}
+		}
+	}
+	return u, nil
+}
+
+// ---------------------------------------------------------------------------
+// Run-time side: NewRun / Boot / compiled calls / pools
+
+// NewRun creates an interpreter executing a compiled program: the
+// compile-once / run-many counterpart of New+LoadSource. Register host
+// modules and hooks as usual, then call Boot once before Call.
+func NewRun(p *Program, cfg Config) *Interp {
+	cfg = cfg.withDefaults()
+	it := &Interp{
+		globals:    NewScope(nil), // unused on the compiled path
+		modules:    make(map[string]*Module),
+		stepNS:     cfg.StepNS,
+		deadlineNS: cfg.DeadlineNS,
+		maxSteps:   cfg.MaxSteps,
+		stdout:     cfg.Stdout,
+		prog:       p,
+	}
+	it.gslots = make([]Value, p.ln.size())
+	for i := range it.gslots {
+		it.gslots[i] = unbound
+	}
+	registerBuiltins(it)
+	return it
+}
+
+// Boot resolves imports against the registered modules and executes the
+// top-level declarations (function bindings and var initializers) in
+// load order — the compiled analog of LoadSource's load-time work. Call
+// it after installing the environment and before the first Call.
+func (it *Interp) Boot() error {
+	if it.prog == nil {
+		return fmt.Errorf("interp: Boot on a non-compiled interpreter")
+	}
+	for _, u := range it.prog.units {
+		for _, imp := range u.imports {
+			mod, ok := it.modules[imp.path]
+			if !ok {
+				return fmt.Errorf("interp: %s imports unknown module %q", u.name, imp.path)
+			}
+			it.gslots[imp.gidx] = mod
+		}
+		for _, op := range u.ops {
+			if op.fn != nil {
+				it.gslots[op.gidx] = op.fn
+				continue
+			}
+			var v Value
+			if op.init != nil {
+				var err error
+				v, err = op.init(it, nil)
+				if err != nil {
+					return fmt.Errorf("interp: %s: init %s: %w", u.name, op.name, err)
+				}
+			}
+			it.gslots[op.gidx] = v
+		}
+	}
+	return nil
+}
+
+// defineGlobal binds a host-registered name on the compiled path: into
+// its interned slot when compiled code references the name, else into
+// the side table consulted by Global and Call.
+func (it *Interp) defineGlobal(name string, v Value) {
+	if idx, ok := it.prog.ln.lookup(name); ok && idx < len(it.gslots) {
+		it.gslots[idx] = v
+		return
+	}
+	if it.extras == nil {
+		it.extras = make(map[string]Value)
+	}
+	it.extras[name] = v
+}
+
+func (it *Interp) lookupGlobal(name string) (Value, bool) {
+	if idx, ok := it.prog.ln.lookup(name); ok && idx < len(it.gslots) {
+		if v := it.gslots[idx]; v != unbound {
+			return v, true
+		}
+		return nil, false
+	}
+	v, ok := it.extras[name]
+	return v, ok
+}
+
+// callCompiled executes a compiled function with defer/recover semantics
+// identical to callClosure, against a pooled slot frame.
+func (it *Interp) callCompiled(f *compiledClosure, args []Value) (result Value, err error) {
+	fn := f.fn
+	if len(it.frames) > 200 {
+		return nil, it.throw("RecursionError", "maximum call depth exceeded in "+fn.name)
+	}
+	fr := getFrame(fn.name)
+	it.frames = append(it.frames, fr)
+	cf := getCframe(fn.nslots)
+	cf.caps = f.caps
+
+	for _, s := range fn.rootCells {
+		cf.slots[s] = &cell{v: unbound}
+	}
+	if fn.recv != nil {
+		bindSlot(cf, fn.recv, f.recv)
+	}
+	for i, p := range fn.params {
+		var v Value
+		if i < len(args) {
+			v = args[i]
+		}
+		bindSlot(cf, p, v)
+	}
+	// Extra args beyond declared params are dropped (tree-walk parity).
+
+	ctl, ret, cerr := runCstmts(it, cf, fn.body)
+	if ctl == ctlReturn {
+		result = ret
+	}
+	err = it.runDefers(fr, cerr)
+	it.frames = it.frames[:len(it.frames)-1]
+	putCframe(cf)
+	putFrame(fr)
+	return result, err
+}
+
+func bindSlot(cf *cframe, b *vbind, v Value) {
+	if b.cell {
+		cf.slots[b.slot].(*cell).v = v
+	} else {
+		cf.slots[b.slot] = v
+	}
+}
+
+// Frame and slot-frame pools: the per-call allocations that survive
+// compilation are recycled so the slot-frame hot path stays allocation
+// free (see BenchmarkCompiledCallAllocs).
+var framePool = sync.Pool{New: func() any { return &frame{} }}
+
+func getFrame(name string) *frame {
+	fr := framePool.Get().(*frame)
+	fr.name = name
+	return fr
+}
+
+func putFrame(fr *frame) {
+	for i := range fr.defers {
+		fr.defers[i] = deferredCall{}
+	}
+	fr.defers = fr.defers[:0]
+	fr.panicking = nil
+	fr.name = ""
+	framePool.Put(fr)
+}
+
+var cframePool = sync.Pool{New: func() any { return &cframe{} }}
+
+func getCframe(n int) *cframe {
+	cf := cframePool.Get().(*cframe)
+	if cap(cf.slots) < n {
+		cf.slots = make([]Value, n)
+	} else {
+		cf.slots = cf.slots[:n]
+	}
+	for i := range cf.slots {
+		cf.slots[i] = unbound
+	}
+	return cf
+}
+
+func putCframe(cf *cframe) {
+	for i := range cf.slots {
+		cf.slots[i] = nil
+	}
+	cf.slots = cf.slots[:0]
+	cf.caps = nil
+	cframePool.Put(cf)
+}

@@ -240,6 +240,8 @@ func Repr(v Value) string {
 		return "<" + x.TypeName + ">"
 	case *Closure:
 		return "<func " + x.Name + ">"
+	case *compiledClosure:
+		return "<func " + x.fn.name + ">"
 	case *HostFunc:
 		return "<hostfunc " + x.Name + ">"
 	case *Module:
@@ -277,7 +279,7 @@ func TypeName(v Value) string {
 		return "map"
 	case *Object:
 		return x.TypeName
-	case *Closure, *HostFunc:
+	case *Closure, *HostFunc, *compiledClosure:
 		return "func"
 	case *Tuple:
 		return "tuple"

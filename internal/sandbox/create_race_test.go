@@ -1,0 +1,44 @@
+package sandbox
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCreateUniqueSeeds locks in the fix for the seed
+// duplication race: Create used to read nextID under one lock
+// acquisition and increment it under another, so two concurrent calls
+// could derive the same seed. Ids and seeds must both be unique now.
+func TestConcurrentCreateUniqueSeeds(t *testing.T) {
+	rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 100})
+	img := Image{Name: "race", Files: map[string][]byte{"f.go": []byte("x")}}
+
+	const n = 64
+	containers := make([]*Container, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			containers[i] = rt.Create(img)
+		}(i)
+	}
+	wg.Wait()
+
+	seeds := make(map[int64]string, n)
+	ids := make(map[string]bool, n)
+	for _, c := range containers {
+		if prev, dup := seeds[c.Seed()]; dup {
+			t.Fatalf("seed %d assigned to both %s and %s", c.Seed(), prev, c.ID)
+		}
+		seeds[c.Seed()] = c.ID
+		if ids[c.ID] {
+			t.Fatalf("duplicate container id %s", c.ID)
+		}
+		ids[c.ID] = true
+	}
+	st := rt.Stats()
+	if st.Created != n || st.Active != n {
+		t.Fatalf("stats = %+v, want %d created/active", st, n)
+	}
+}

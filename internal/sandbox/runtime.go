@@ -44,12 +44,13 @@ func NewRuntime(cfg RuntimeConfig) *Runtime {
 }
 
 // Create instantiates a container from an image, copying its files. The
-// container seed derives from the creation counter.
+// container seed derives from the creation counter; the id and the seed
+// are allocated under a single critical section so concurrent Create
+// calls can never derive the same seed.
 func (r *Runtime) Create(img Image) *Container {
 	r.mu.Lock()
-	id := r.nextID + 1
-	r.mu.Unlock()
-	return r.CreateSeeded(img, r.cfg.Seed+int64(id))
+	defer r.mu.Unlock()
+	return r.createLocked(img, r.cfg.Seed+int64(r.nextID+1))
 }
 
 // CreateSeeded instantiates a container with an explicit RNG seed, so
@@ -58,6 +59,12 @@ func (r *Runtime) Create(img Image) *Container {
 func (r *Runtime) CreateSeeded(img Image, seed int64) *Container {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.createLocked(img, seed)
+}
+
+// createLocked allocates the container id and registers the container;
+// callers must hold r.mu.
+func (r *Runtime) createLocked(img Image, seed int64) *Container {
 	r.nextID++
 	r.created++
 	c := &Container{

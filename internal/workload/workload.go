@@ -28,6 +28,12 @@ type Config struct {
 	// Env installs host modules and hooks on each round's interpreter
 	// (the kvclient environment, for the case study).
 	Env func(it *interp.Interp, c *sandbox.Container)
+	// Program, when set, is the compiled form of Files: rounds execute
+	// the compiled program (interp.NewRun) instead of re-parsing and
+	// tree-walking the sources, and the per-round container FS reads
+	// drop out of the hot loop. The campaign compiles the base file set
+	// once and derives one program per experiment (mutated file only).
+	Program *interp.Program
 	// Rounds is the number of workload rounds; 0 selects the paper's
 	// two-round protocol.
 	Rounds int
@@ -102,24 +108,42 @@ func Run(c *sandbox.Container, cfg Config) (*Result, error) {
 
 // runRound executes one workload round on a fresh interpreter; container
 // state (filesystem, server, logs, contention) persists across rounds.
+// With a compiled Program the round skips the parse/load front end
+// entirely (compile once, run many); otherwise the sources are read from
+// the container filesystem and tree-walked as before.
 func runRound(c *sandbox.Container, cfg Config) (RoundResult, error) {
-	it := interp.New(interp.Config{
+	icfg := interp.Config{
 		DeadlineNS: cfg.TimeoutNS,
 		MaxSteps:   cfg.MaxSteps,
 		Stdout:     c.Log("stdout"),
-	})
-	if cfg.Env != nil {
-		cfg.Env(it, c)
 	}
-	for _, f := range cfg.Files {
-		src, err := c.FS.Read(f)
-		if err != nil {
-			return RoundResult{}, fmt.Errorf("workload: missing target file %s: %w", f, err)
+	var it *interp.Interp
+	if cfg.Program != nil {
+		it = interp.NewRun(cfg.Program, icfg)
+		if cfg.Env != nil {
+			cfg.Env(it, c)
 		}
-		if err := it.LoadSource(f, src); err != nil {
-			// A mutated source that no longer loads is an experiment
-			// infrastructure error, not a target failure.
+		if err := it.Boot(); err != nil {
+			// A program that no longer boots (unknown module, failing
+			// top-level init) is an experiment infrastructure error, not
+			// a target failure — same classification as a load error.
 			return RoundResult{}, fmt.Errorf("workload: %w", err)
+		}
+	} else {
+		it = interp.New(icfg)
+		if cfg.Env != nil {
+			cfg.Env(it, c)
+		}
+		for _, f := range cfg.Files {
+			src, err := c.FS.Read(f)
+			if err != nil {
+				return RoundResult{}, fmt.Errorf("workload: missing target file %s: %w", f, err)
+			}
+			if err := it.LoadSource(f, src); err != nil {
+				// A mutated source that no longer loads is an experiment
+				// infrastructure error, not a target failure.
+				return RoundResult{}, fmt.Errorf("workload: %w", err)
+			}
 		}
 	}
 	_, err := it.Call(cfg.Entry)
