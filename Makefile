@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_PKGS = ./internal/scanner/ ./internal/pattern/ ./internal/mutator/ ./internal/interp/
 
-.PHONY: build vet test race bench bench-exec bench-all
+.PHONY: build vet test race shuffle cover fuzz-smoke golden-update bench bench-exec bench-all
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,28 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Randomized test order + race detector: the order-independence gate CI
+# runs as its second matrix leg.
+shuffle:
+	$(GO) test -shuffle=on -race -count=1 ./...
+
+# Coverage profile + function summary (coverage.out is the CI artifact).
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# Short fuzz runs over the DSL compiler and the pattern matcher (the
+# seed corpora live under the packages' testdata/fuzz/ directories).
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./internal/dsl/
+	$(GO) test -run '^$$' -fuzz FuzzMatchPrefix -fuzztime $(FUZZTIME) ./internal/pattern/
+
+# Regenerate the golden campaign-record fixtures (testdata/golden/)
+# after an intentional behavior change; review the diff before commit.
+golden-update:
+	$(GO) test -run TestGoldenCampaignRecords -count=1 -update .
 
 # Engine benchmarks: scan throughput, match-engine hot paths, cached
 # mutation, interpreter round execution (tree-walk vs compiled). Writes

@@ -8,7 +8,8 @@
 //	profipy scan    -dir D -model M     scan *.go under D with model M
 //	profipy mutate  -dir D -model M -index N [-o FILE]
 //	                                    emit the N-th mutation
-//	profipy demo    -campaign A|B|C     reproduce a §V campaign
+//	profipy demo    -campaign A|B|C|R   reproduce a §V campaign (R = mixed
+//	                                    compile-time + runtime injection)
 package main
 
 import (
@@ -188,7 +189,7 @@ func runMutate(args []string) error {
 
 func runDemo(args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
-	which := fs.String("campaign", "A", "which §V campaign to run: A, B or C")
+	which := fs.String("campaign", "A", "which campaign to run: the §V campaigns A, B or C, or R (mixed compile-time + runtime injection)")
 	seed := fs.Int64("seed", 101, "deterministic seed")
 	cores := fs.Int("cores", 4, "simulated host cores (N-1 parallel containers)")
 	if err := fs.Parse(args); err != nil {
@@ -203,6 +204,8 @@ func runDemo(args []string) error {
 		c = kvclient.CampaignB(rt, *seed)
 	case "C":
 		c = kvclient.CampaignC(rt, *seed)
+	case "R":
+		c = kvclient.CampaignR(rt, *seed)
 	default:
 		return fmt.Errorf("unknown campaign %q", *which)
 	}
@@ -213,5 +216,9 @@ func runDemo(args []string) error {
 	fmt.Println(res.Report.Render(c.Name))
 	fmt.Printf("scan %v, coverage %v, execution %v; containers: %+v\n",
 		res.ScanTime, res.CovTime, res.ExecTime, rt.Stats())
+	if res.Injected > 0 {
+		fmt.Printf("experiments: %d source-mutated, %d runtime-injected (no recompilation)\n",
+			res.Mutated, res.Injected)
+	}
 	return nil
 }

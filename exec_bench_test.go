@@ -16,8 +16,10 @@ import (
 	"testing"
 
 	"profipy/internal/campaign"
+	"profipy/internal/faultmodel"
 	"profipy/internal/interp"
 	"profipy/internal/kvclient"
+	"profipy/internal/runtimefault"
 	"profipy/internal/workload"
 )
 
@@ -47,6 +49,7 @@ func TestCompiledCampaignEquivalence(t *testing.T) {
 		{"campaign-a", kvclient.CampaignA, 101},
 		{"campaign-b", kvclient.CampaignB, 202},
 		{"campaign-c", kvclient.CampaignC, 303},
+		{"campaign-r", kvclient.CampaignR, 404},
 	}
 	for _, bc := range builds {
 		t.Run(bc.name, func(t *testing.T) {
@@ -78,6 +81,117 @@ func TestCompiledCampaignEquivalence(t *testing.T) {
 				t.Errorf("reports differ between compiled and tree-walk execution")
 			}
 		})
+	}
+}
+
+// TestRuntimeCampaignDeterminism asserts the runtime-injection seed
+// guarantee: the same campaign seed produces byte-identical records
+// (trigger decisions, corruptions, activation counts included) across
+// repeated runs.
+func TestRuntimeCampaignDeterminism(t *testing.T) {
+	var out [2][]byte
+	for i := range out {
+		rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+		res, err := kvclient.CampaignR(rt, 404).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := json.Marshal(res.Records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = recs
+	}
+	if !bytes.Equal(out[0], out[1]) {
+		t.Error("same seed must produce byte-identical records with runtime faults enabled")
+	}
+}
+
+// runtimeOnlyFaultload filters the mixed §V-R faultload down to its
+// runtime trigger/action specs.
+func runtimeOnlyFaultload(tb testing.TB) []faultmodel.Spec {
+	tb.Helper()
+	var out []faultmodel.Spec
+	for _, s := range kvclient.CampaignRFaultload() {
+		if s.IsRuntime() {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		tb.Fatal("mixed faultload has no runtime specs")
+	}
+	return out
+}
+
+// TestRuntimeOnlySkipsRecompile asserts that a runtime-only faultload
+// never takes the mutation path: every experiment runs as a runtime
+// injection against the campaign's base program (no per-experiment
+// source rewrite, no single-file program derivation).
+func TestRuntimeOnlySkipsRecompile(t *testing.T) {
+	rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+	c := kvclient.CampaignR(rt, 404)
+	c.Faultload = runtimeOnlyFaultload(t)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Len() == 0 {
+		t.Fatal("runtime-only plan is empty")
+	}
+	if res.Mutated != 0 {
+		t.Errorf("runtime-only campaign took the mutation path %d times", res.Mutated)
+	}
+	if res.Injected != len(res.Records) {
+		t.Errorf("Injected = %d, want every experiment (%d)", res.Injected, len(res.Records))
+	}
+	for _, rec := range res.Records {
+		if rec.Result != nil && len(rec.Injections) == 0 {
+			t.Errorf("experiment %s has no injector report", rec.Point.ID())
+		}
+	}
+}
+
+// BenchmarkRuntimeExperiment measures one runtime-injection experiment
+// (engine build + two workload rounds) against a prebuilt base program:
+// the path that skips per-experiment recompilation entirely. Compare
+// with the mutated-experiment rows of BENCH_exec.json.
+func BenchmarkRuntimeExperiment(b *testing.B) {
+	files := kvclient.Sources()
+	cfg := kvclient.WorkloadConfig()
+	units := make([]interp.SourceUnit, 0, len(cfg.Files))
+	for _, f := range cfg.Files {
+		units = append(units, interp.SourceUnit{Name: f, Src: files[f]})
+	}
+	prog, err := interp.CompileProgram(units)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Program = prog
+	fault := runtimefault.Fault{
+		Name: "bench-flaky",
+		Site: "Client.api",
+		When: runtimefault.Trigger{Mode: runtimefault.TriggerProb, P: 0.5},
+		Do:   runtimefault.Action{Kind: runtimefault.ActionRaise, ExcType: "ConnectTimeoutError", Message: "bench"},
+	}
+	rt := NewRuntime(RuntimeConfig{Cores: 2, Seed: 7})
+	img := kvclient.Image()
+	img.Files = files
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := runtimefault.NewEngine([]runtimefault.Fault{fault}, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ecfg := cfg
+		ecfg.Injector = eng
+		ctr := rt.CreateSeeded(img, int64(i))
+		if _, err := workload.Run(ctr, ecfg); err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Destroy(ctr); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

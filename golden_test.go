@@ -1,0 +1,87 @@
+// Golden-record regression tests: the three §V case-study campaigns
+// (plus the mixed runtime-injection campaign) run with fixed seeds and
+// their full experiment records are compared byte-for-byte against
+// canonical JSON fixtures under testdata/golden/. Any drift — a changed
+// failure mode, step count, virtual clock, log line, trigger decision
+// or JSON encoding — fails the test.
+//
+// To regenerate the fixtures after an intentional behavior change:
+//
+//	go test -run TestGoldenCampaignRecords -update .
+//
+// then review the fixture diff like any other code change.
+package profipy
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"profipy/internal/campaign"
+	"profipy/internal/kvclient"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden campaign record fixtures under testdata/golden/")
+
+// goldenCampaigns pins each campaign to the seed its fixture was
+// recorded with. Runtime seeds (container PRNGs, trigger decisions,
+// corruptions) all derive from it, so records are reproducible across
+// machines and worker counts.
+var goldenCampaigns = []struct {
+	name  string
+	build func(rt *Runtime, seed int64) *campaign.Campaign
+	seed  int64
+}{
+	{"campaign-a", kvclient.CampaignA, 101},
+	{"campaign-b", kvclient.CampaignB, 202},
+	{"campaign-c", kvclient.CampaignC, 303},
+	{"campaign-r", kvclient.CampaignR, 404},
+}
+
+// goldenRecords produces the canonical JSON encoding of one campaign's
+// records: indented, trailing newline, key order fixed by the struct
+// and map encodings.
+func goldenRecords(tb testing.TB, build func(rt *Runtime, seed int64) *campaign.Campaign, seed int64) []byte {
+	tb.Helper()
+	rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+	res, err := build(rt, seed).Run()
+	if err != nil {
+		tb.Fatalf("campaign: %v", err)
+	}
+	data, err := json.MarshalIndent(res.Records, "", "  ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+func TestGoldenCampaignRecords(t *testing.T) {
+	for _, gc := range goldenCampaigns {
+		t.Run(gc.name, func(t *testing.T) {
+			got := goldenRecords(t, gc.build, gc.seed)
+			path := filepath.Join("testdata", "golden", gc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture %s (run `go test -run TestGoldenCampaignRecords -update .`): %v", path, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("campaign records drifted from %s (%d vs %d bytes);\n"+
+					"if the change is intentional, regenerate with `go test -run TestGoldenCampaignRecords -update .` and review the diff",
+					path, len(got), len(want))
+			}
+		})
+	}
+}

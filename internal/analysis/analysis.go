@@ -11,6 +11,7 @@ import (
 	"regexp"
 	"sort"
 
+	"profipy/internal/runtimefault"
 	"profipy/internal/scanner"
 	"profipy/internal/workload"
 )
@@ -37,6 +38,9 @@ type Record struct {
 	FaultType string                 `json:"faultType"`
 	Covered   bool                   `json:"covered"`
 	Result    *workload.Result       `json:"result"`
+	// Injections holds the runtime injector's per-fault trigger
+	// activation counts; nil for compile-time mutation experiments.
+	Injections []runtimefault.Activation `json:"injections,omitempty"`
 }
 
 // Failed reports a service failure in round 1 (fault enabled).
@@ -96,6 +100,20 @@ type Report struct {
 	// than one component (failure propagation metric).
 	PropagatedFailures int     `json:"propagatedFailures"`
 	PropagationRate    float64 `json:"propagationRate"`
+
+	// Triggers aggregates runtime-injector activity per fault spec:
+	// how often each runtime fault's site was entered while armed and
+	// how often its trigger fired, summed over all experiments. Nil
+	// for purely compile-time campaigns.
+	Triggers map[string]*TriggerStats `json:"triggers,omitempty"`
+}
+
+// TriggerStats is the aggregated runtime-injector activity of one
+// fault spec across a campaign.
+type TriggerStats struct {
+	Experiments int   `json:"experiments"`
+	Activations int64 `json:"activations"`
+	Fires       int64 `json:"fires"`
 }
 
 // compiledClass pairs a class with its compiled regex.
@@ -155,6 +173,19 @@ func BuildReport(records []Record, cfg Config) (*Report, error) {
 		}
 		if rec.Result != nil && !rec.Unavailable() {
 			available++
+		}
+		for _, act := range rec.Injections {
+			if rep.Triggers == nil {
+				rep.Triggers = map[string]*TriggerStats{}
+			}
+			ts, ok := rep.Triggers[act.Fault]
+			if !ok {
+				ts = &TriggerStats{}
+				rep.Triggers[act.Fault] = ts
+			}
+			ts.Experiments++
+			ts.Activations += act.Activations
+			ts.Fires += act.Fires
 		}
 		if !rec.Failed() {
 			continue

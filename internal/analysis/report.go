@@ -26,31 +26,29 @@ func (r *Report) Render(title string) string {
 	}
 	if len(r.ByType) > 0 {
 		sb.WriteString("\nby fault type:            total  covered  failures  unavailable\n")
-		for _, k := range sortedStatKeys(r.ByType) {
+		for _, k := range sortedKeys(r.ByType) {
 			st := r.ByType[k]
 			fmt.Fprintf(&sb, "  %-24s %6d  %7d  %8d  %11d\n", k, st.Total, st.Covered, st.Failures, st.Unavailable)
 		}
 	}
 	if len(r.ByComponent) > 0 {
 		sb.WriteString("\nby injected component:    total  covered  failures  unavailable\n")
-		for _, k := range sortedStatKeys(r.ByComponent) {
+		for _, k := range sortedKeys(r.ByComponent) {
 			st := r.ByComponent[k]
 			fmt.Fprintf(&sb, "  %-24s %6d  %7d  %8d  %11d\n", k, st.Total, st.Covered, st.Failures, st.Unavailable)
+		}
+	}
+	if len(r.Triggers) > 0 {
+		sb.WriteString("\nruntime injectors:        exps  activations  fires\n")
+		for _, k := range sortedKeys(r.Triggers) {
+			ts := r.Triggers[k]
+			fmt.Fprintf(&sb, "  %-24s %5d  %11d  %5d\n", k, ts.Experiments, ts.Activations, ts.Fires)
 		}
 	}
 	return sb.String()
 }
 
-func sortedKeys(m map[string]int) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-func sortedStatKeys(m map[string]*TypeStats) []string {
+func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

@@ -18,6 +18,7 @@ import (
 	"profipy/internal/mutator"
 	"profipy/internal/pattern"
 	"profipy/internal/plan"
+	"profipy/internal/runtimefault"
 	"profipy/internal/sandbox"
 	"profipy/internal/scanner"
 	"profipy/internal/workload"
@@ -99,6 +100,13 @@ type Result struct {
 	ExecTime time.Duration
 	// Errors counts experiments aborted by infrastructure errors.
 	Errors int
+	// Mutated counts experiments that ran the compile-time mutation
+	// path (source rewrite + single-file program derivation); Injected
+	// counts experiments that ran the runtime injection path, which
+	// reuses the campaign's base program unchanged — no per-experiment
+	// recompilation.
+	Mutated  int
+	Injected int
 }
 
 // Run executes the full workflow.
@@ -167,23 +175,28 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	}
 
 	// --- Execution phase (parallel containers, N−1 rule) ---
-	models, err := compileByName(c.Faultload)
+	// A faultload can mix both injection kinds: compile-time specs
+	// mutate source (and derive a one-file-recompiled program), runtime
+	// specs attach an injector table to the unchanged base program.
+	models, rtFaults, err := compileByName(c.Faultload)
 	if err != nil {
 		return nil, err
 	}
 	c.progress(PhaseExecute, 0, len(execPoints))
 	execStart := time.Now()
-	var done atomic.Int64
+	var done, mutated, injected atomic.Int64
 	records := sandbox.RunBatch(c.Runtime, c.Image, len(execPoints), func(i int) analysis.Record {
 		if ctx.Err() != nil {
 			return analysis.Record{Point: execPoints[i], FaultType: pl.TypeOf(execPoints[i])}
 		}
-		rec := c.runExperiment(cache, wcfg, execPoints[i], models, pl, covered, int64(i))
+		rec := c.runExperiment(cache, wcfg, execPoints[i], models, rtFaults, pl, covered, int64(i), &mutated, &injected)
 		c.progress(PhaseExecute, int(done.Add(1)), len(execPoints))
 		return rec
 	})
 	res.ExecTime = time.Since(execStart)
 	res.Records = records
+	res.Mutated = int(mutated.Load())
+	res.Injected = int(injected.Load())
 	for _, r := range records {
 		if r.Result == nil {
 			res.Errors++
@@ -203,57 +216,86 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
-// runExperiment executes one fault injection experiment: generate the
-// mutated version (from the campaign's shared parse cache), derive the
-// experiment's compiled program (base units shared, mutated file
-// recompiled — memoized by content hash), deploy a container, run the
-// two-round workload, collect results, tear the container down.
+// runExperiment executes one fault injection experiment. Compile-time
+// points generate the mutated version (from the campaign's shared parse
+// cache) and derive the experiment's compiled program (base units
+// shared, mutated file recompiled — memoized by content hash). Runtime
+// points skip mutation entirely: the same base program executes under
+// an injector table seeded for this experiment — different injector
+// table, zero recompilation. Either way a container is deployed, the
+// two-round workload runs, results are collected, the container is
+// torn down.
 func (c *Campaign) runExperiment(cache *scanner.ProjectCache, wcfg workload.Config,
-	pt scanner.InjectionPoint, models map[string]*pattern.MetaModel, pl *plan.Plan,
-	covered map[string]bool, idx int64) analysis.Record {
+	pt scanner.InjectionPoint, models map[string]*pattern.MetaModel,
+	rtFaults map[string]*runtimefault.Fault, pl *plan.Plan,
+	covered map[string]bool, idx int64, mutated, injected *atomic.Int64) analysis.Record {
 
 	rec := analysis.Record{Point: pt, FaultType: pl.TypeOf(pt), Covered: covered[pt.ID()]}
-	mm, ok := models[pt.Spec]
-	if !ok {
-		return rec
-	}
-	pf, err := cache.Get(pt.File)
-	if err != nil {
-		return rec
-	}
-	mut, err := mutator.ApplyParsed(pf, mm, pt, mutator.Options{Triggered: true})
-	if err != nil {
-		return rec
-	}
+	seed := c.Seed + idx + 1
 
-	// Copy-on-write deploy: the container shares the campaign's base
-	// file layer and shadows just the mutated file through the overlay,
-	// instead of copying the whole file map per experiment.
+	var eng *runtimefault.Engine
 	img := c.Image
 	img.Files = c.Files
-	img.Overlay = map[string][]byte{pt.File: mut.Source}
 
-	ctr := c.Runtime.CreateSeeded(img, c.Seed+idx+1)
+	if rf, ok := rtFaults[pt.Spec]; ok {
+		// Runtime injection: bind the fault's site selector to the
+		// point's enclosing function (injection granularity is the
+		// function entered at run time) and draw all trigger/corruption
+		// randomness from this experiment's seed.
+		fault := *rf
+		fault.Site = pt.Func
+		var err error
+		eng, err = runtimefault.NewEngine([]runtimefault.Fault{fault}, seed)
+		if err != nil {
+			return rec
+		}
+		wcfg.Injector = eng
+		injected.Add(1)
+	} else {
+		mm, ok := models[pt.Spec]
+		if !ok {
+			return rec
+		}
+		pf, err := cache.Get(pt.File)
+		if err != nil {
+			return rec
+		}
+		mut, err := mutator.ApplyParsed(pf, mm, pt, mutator.Options{Triggered: true})
+		if err != nil {
+			return rec
+		}
+		// Copy-on-write deploy: the container shares the campaign's
+		// base file layer and shadows just the mutated file through the
+		// overlay, instead of copying the whole file map per experiment.
+		img.Overlay = map[string][]byte{pt.File: mut.Source}
+		if wcfg.Program != nil {
+			if prog, perr := wcfg.Program.WithFiles(map[string][]byte{pt.File: mut.Source}); perr == nil {
+				wcfg.Program = prog
+			} else {
+				// A mutated source the compiler rejects would not
+				// tree-walk load either; fall back so the error surfaces
+				// the same way (an infrastructure error on this
+				// experiment only).
+				wcfg.Program = nil
+			}
+		}
+		mutated.Add(1)
+	}
+
+	ctr := c.Runtime.CreateSeeded(img, seed)
 	defer func() { _ = c.Runtime.Destroy(ctr) }()
 	if c.TraceHook != nil {
 		c.TraceHook(ctr)
 	}
 
-	if wcfg.Program != nil {
-		if prog, perr := wcfg.Program.WithFiles(map[string][]byte{pt.File: mut.Source}); perr == nil {
-			wcfg.Program = prog
-		} else {
-			// A mutated source the compiler rejects would not tree-walk
-			// load either; fall back so the error surfaces the same way
-			// (an infrastructure error on this experiment only).
-			wcfg.Program = nil
-		}
-	}
 	result, err := workload.Run(ctr, wcfg)
 	if err != nil {
 		return rec
 	}
 	rec.Result = result
+	if eng != nil {
+		rec.Injections = eng.Report()
+	}
 	return rec
 }
 
@@ -301,14 +343,19 @@ func (c *Campaign) scanSubset() map[string][]byte {
 	return out
 }
 
-func compileByName(specs []faultmodel.Spec) (map[string]*pattern.MetaModel, error) {
-	models, err := faultmodel.CompileAll(specs)
+// compileByName splits a faultload into its execution forms: mutation
+// meta-models for compile-time specs and injector faults (site unbound)
+// for runtime specs, compiling each spec once.
+func compileByName(specs []faultmodel.Spec) (map[string]*pattern.MetaModel, map[string]*runtimefault.Fault, error) {
+	models, rtFaults, err := faultmodel.CompileSplit(specs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make(map[string]*pattern.MetaModel, len(models))
 	for _, mm := range models {
-		out[mm.Name] = mm
+		if _, runtime := rtFaults[mm.Name]; !runtime {
+			out[mm.Name] = mm
+		}
 	}
-	return out, nil
+	return out, rtFaults, nil
 }

@@ -9,23 +9,78 @@ import (
 	"strings"
 
 	"profipy/internal/pattern"
+	"profipy/internal/runtimefault"
 )
 
-// Compile compiles a bug specification written in the ProFIPy DSL into a
-// meta-model. name is a human-readable identifier used in plans and
-// reports; src is the `change { ... } into { ... }` text.
+// CompiledSpec is the compiled form of one bug specification. Model is
+// always set: the site pattern the scanner matches against target code.
+// For compile-time specs the model also carries the replacement (the
+// `into` block); for runtime specs Runtime holds the trigger/action
+// pair instead and the model's Replace is empty (the scanner still
+// enumerates injection points from the `change` pattern, but execution
+// attaches an injector rather than mutating source).
+type CompiledSpec struct {
+	Model   *pattern.MetaModel
+	Runtime *runtimefault.Fault
+	// SiteOnly marks a spec whose DSL is a bare change{} block: a site
+	// pattern with no injection behaviour of its own. Valid only when
+	// the caller supplies the trigger/action out of band (the faultload
+	// fields); dsl.Compile rejects it.
+	SiteOnly bool
+}
+
+// IsRuntime reports whether the spec injects at run time.
+func (cs *CompiledSpec) IsRuntime() bool { return cs.Runtime != nil }
+
+// Compile compiles a compile-time bug specification written in the
+// ProFIPy DSL into a meta-model. name is a human-readable identifier
+// used in plans and reports; src is the `change { ... } into { ... }`
+// text. Specs carrying runtime trigger/action clauses are rejected —
+// use CompileFull for those.
 func Compile(name, src string) (*pattern.MetaModel, error) {
-	changeBody, intoBody, err := splitSections(src)
+	cs, err := CompileFull(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if cs.IsRuntime() {
+		return nil, fmt.Errorf("spec %q: runtime trigger/action spec where a compile-time spec is required", name)
+	}
+	if cs.SiteOnly {
+		return nil, fmt.Errorf("spec %q: change block without into or trigger/action blocks", name)
+	}
+	return cs.Model, nil
+}
+
+// HasRuntimeClauses reports whether the spec text uses the runtime
+// trigger/action form, from the section split alone — no preprocessing
+// or pattern compilation. Malformed texts report false; CompileFull
+// surfaces their errors.
+func HasRuntimeClauses(src string) bool {
+	sec, err := splitSections(src)
+	return err == nil && sec.runtime
+}
+
+// CompileFull compiles a bug specification of either kind:
+//
+//	change { <pattern> } into { <replacement> }           // compile-time
+//	change { <pattern> } trigger { <when> } action { <do> }  // runtime
+//
+// The runtime trigger clause is one of always, prob(p), every(k),
+// after(n), round(r); the action clause is raise(Exc, "msg"),
+// corrupt(bitflip|offbyone|null) or delay(duration). The trigger clause
+// may be omitted (defaulting to always), the action clause may not.
+func CompileFull(name, src string) (*CompiledSpec, error) {
+	sec, err := splitSections(src)
 	if err != nil {
 		return nil, fmt.Errorf("spec %q: %w", name, err)
 	}
 
 	pre := newPreprocessor()
-	patText, err := pre.rewrite(changeBody)
+	patText, err := pre.rewrite(sec.change)
 	if err != nil {
 		return nil, fmt.Errorf("spec %q (change block): %w", name, err)
 	}
-	repText, err := pre.rewrite(intoBody)
+	repText, err := pre.rewrite(sec.into)
 	if err != nil {
 		return nil, fmt.Errorf("spec %q (into block): %w", name, err)
 	}
@@ -56,34 +111,94 @@ func Compile(name, src string) (*pattern.MetaModel, error) {
 	if err := validate(mm); err != nil {
 		return nil, fmt.Errorf("spec %q: %w", name, err)
 	}
-	return mm, nil
+
+	cs := &CompiledSpec{Model: mm, SiteOnly: sec.siteOnly}
+	if sec.runtime {
+		rf, err := compileRuntimeClauses(name, sec)
+		if err != nil {
+			return nil, err
+		}
+		cs.Runtime = rf
+	}
+	return cs, nil
 }
 
-// splitSections extracts the bodies of the change{...} and into{...}
-// blocks, honouring nested braces and string literals.
-func splitSections(src string) (changeBody, intoBody string, err error) {
+// compileRuntimeClauses builds the runtime fault of a trigger/action
+// spec through the shared constructor (runtimefault.NewFault), so the
+// DSL-clause spelling and the faultload-field spelling can never drift.
+func compileRuntimeClauses(name string, sec sections) (*runtimefault.Fault, error) {
+	rf, err := runtimefault.NewFault(name, sec.trigger, strings.TrimSpace(sec.action))
+	if err != nil {
+		return nil, fmt.Errorf("spec %q (trigger/action blocks): %w", name, err)
+	}
+	return rf, nil
+}
+
+// sections holds the raw block bodies of one spec.
+type sections struct {
+	change   string
+	into     string
+	trigger  string
+	action   string
+	runtime  bool
+	siteOnly bool
+}
+
+// splitSections extracts the spec's block bodies, honouring nested
+// braces and string literals. A spec is `change{...}` followed either
+// by `into{...}` (compile-time) or by `[trigger{...}] action{...}`
+// (runtime); the two forms are mutually exclusive. A bare `change{...}`
+// is a site-only pattern, valid only with an out-of-band trigger/action
+// (the faultload's Trigger/Action fields).
+func splitSections(src string) (sections, error) {
+	var sec sections
 	i := skipSpaceAndComments(src, 0)
 	if !strings.HasPrefix(src[i:], "change") {
-		return "", "", fmt.Errorf("dsl: expected 'change' keyword")
+		return sec, fmt.Errorf("dsl: expected 'change' keyword")
 	}
+	var err error
 	i = skipSpaceAndComments(src, i+len("change"))
-	changeBody, i, err = braceBlock(src, i)
+	sec.change, i, err = braceBlock(src, i)
 	if err != nil {
-		return "", "", err
+		return sec, err
 	}
 	i = skipSpaceAndComments(src, i)
-	if !strings.HasPrefix(src[i:], "into") {
-		return "", "", fmt.Errorf("dsl: expected 'into' keyword after change block")
-	}
-	i = skipSpaceAndComments(src, i+len("into"))
-	intoBody, i, err = braceBlock(src, i)
-	if err != nil {
-		return "", "", err
+	switch {
+	case strings.HasPrefix(src[i:], "into"):
+		i = skipSpaceAndComments(src, i+len("into"))
+		sec.into, i, err = braceBlock(src, i)
+		if err != nil {
+			return sec, err
+		}
+	case strings.HasPrefix(src[i:], "trigger"), strings.HasPrefix(src[i:], "action"):
+		sec.runtime = true
+		if strings.HasPrefix(src[i:], "trigger") {
+			i = skipSpaceAndComments(src, i+len("trigger"))
+			sec.trigger, i, err = braceBlock(src, i)
+			if err != nil {
+				return sec, err
+			}
+			i = skipSpaceAndComments(src, i)
+		}
+		if !strings.HasPrefix(src[i:], "action") {
+			return sec, fmt.Errorf("dsl: expected 'action' block after trigger block")
+		}
+		i = skipSpaceAndComments(src, i+len("action"))
+		sec.action, i, err = braceBlock(src, i)
+		if err != nil {
+			return sec, err
+		}
+	default:
+		if strings.TrimSpace(src[i:]) == "" {
+			sec.siteOnly = true
+			return sec, nil
+		}
+		return sec, fmt.Errorf("dsl: expected 'into' (compile-time spec) or 'trigger'/'action' (runtime spec) after change block")
 	}
 	if rest := strings.TrimSpace(src[i:]); rest != "" {
-		return "", "", fmt.Errorf("dsl: unexpected trailing text %q", truncate(rest, 40))
+		return sec, fmt.Errorf("dsl: unexpected trailing text %q", truncate(rest, 40))
 	}
-	return changeBody, intoBody, nil
+	return sec, nil
 }
 
 // braceBlock reads a balanced {...} block starting at src[at]=='{' and

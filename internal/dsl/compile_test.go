@@ -138,6 +138,56 @@ func TestFig1cWPFCompiles(t *testing.T) {
 	}
 }
 
+// TestCompileFullRuntimeClauses covers the runtime spec form: trigger
+// and action blocks compile into a fault, the trigger block is optional
+// (defaulting to always), and the site pattern scans like any other.
+func TestCompileFullRuntimeClauses(t *testing.T) {
+	cs, err := CompileFull("rt", `
+change {
+	$VAR#v := $CALL#c{name=urllib.*}(...)
+} trigger {
+	prob(0.25)
+} action {
+	raise(ConnectTimeoutError, "flaky")
+}`)
+	if err != nil {
+		t.Fatalf("CompileFull: %v", err)
+	}
+	if !cs.IsRuntime() || cs.SiteOnly {
+		t.Fatalf("spec kind wrong: runtime=%v siteOnly=%v", cs.IsRuntime(), cs.SiteOnly)
+	}
+	if cs.Runtime.When.Mode != "prob" || cs.Runtime.When.P != 0.25 {
+		t.Fatalf("trigger = %+v", cs.Runtime.When)
+	}
+	if cs.Runtime.Do.Kind != "raise" || cs.Runtime.Do.ExcType != "ConnectTimeoutError" || cs.Runtime.Do.Message != "flaky" {
+		t.Fatalf("action = %+v", cs.Runtime.Do)
+	}
+	if cs.Runtime.Site != "" {
+		t.Fatalf("site must stay unbound at compile time, got %q", cs.Runtime.Site)
+	}
+	if len(cs.Model.Pattern) == 0 || len(cs.Model.Replace) != 0 {
+		t.Fatalf("runtime model shape: pattern=%d replace=%d", len(cs.Model.Pattern), len(cs.Model.Replace))
+	}
+
+	// Trigger block omitted → always.
+	cs2, err := CompileFull("rt2", `change { f() } action { corrupt(offbyone) }`)
+	if err != nil {
+		t.Fatalf("CompileFull (no trigger): %v", err)
+	}
+	if cs2.Runtime.When.Mode != "always" || cs2.Runtime.Do.Corruption != "offbyone" {
+		t.Fatalf("defaulted fault = %+v", cs2.Runtime)
+	}
+
+	// Site-only form compiles, flagged for the caller to resolve.
+	cs3, err := CompileFull("rt3", `change { f() }`)
+	if err != nil {
+		t.Fatalf("CompileFull (site-only): %v", err)
+	}
+	if !cs3.SiteOnly || cs3.IsRuntime() {
+		t.Fatalf("site-only kind wrong: %+v", cs3)
+	}
+}
+
 func TestCompileErrors(t *testing.T) {
 	tests := []struct {
 		name string
@@ -145,7 +195,9 @@ func TestCompileErrors(t *testing.T) {
 		want string
 	}{
 		{"missing change", `into { }`, "expected 'change'"},
-		{"missing into", `change { x() }`, "expected 'into'"},
+		{"missing into", `change { x() }`, "change block without into or trigger/action blocks"},
+		{"trailing after change", `change { x() } junk`, "expected 'into'"},
+		{"trigger without action", `change { x() } trigger { always }`, "expected 'action' block"},
 		{"empty pattern", `change { } into { x() }`, "change block is empty"},
 		{"unknown directive", `change { $BOGUS } into { }`, "unknown directive"},
 		{"stray dollar", `change { $ } into { }`, "stray '$'"},

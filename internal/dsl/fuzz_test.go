@@ -1,0 +1,74 @@
+package dsl
+
+import (
+	"testing"
+)
+
+// FuzzCompile throws arbitrary spec texts at the DSL front end — the
+// section splitter, preprocessor, Go-fragment parser, trigger/action
+// clause parser and validator. The compiler must never panic: malformed
+// input returns an error, well-formed input compiles deterministically
+// (two compiles of the same text agree on kind and pattern size).
+//
+// Seed corpus: testdata/fuzz/FuzzCompile/ plus the inline f.Add seeds
+// below (real specs from the predefined models and the runtime model,
+// plus known-tricky fragments: nested braces, strings with braces,
+// unterminated blocks, directive soup).
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		// Compile-time specs in the predefined models' style.
+		"change {\n\t$BLOCK{tag=b1; stmts=1,*}\n\t$CALL{name=*}(...)\n\t$BLOCK{tag=b2; stmts=1,*}\n} into {\n\t$BLOCK{tag=b1}\n\t$BLOCK{tag=b2}\n}",
+		"change {\n\tif $EXPR#e {\n\t\t$BLOCK{tag=body; stmts=1,4}\n\t}\n} into {\n}",
+		"change {\n\t$VAR#x = $STRING#v\n} into {\n\t$VAR#x = $CORRUPT($STRING#v)\n}",
+		"change {\n\t$VAR#v := $CALL#c{name=urllib.*,osio.*}(...)\n} into {\n\t$PANIC{type=E; msg=m}\n}",
+		"change {\n\t$CALL#c{name=*.Set}($STRING#k, $STRING#v, ...)\n} into {\n\t$CALL#c($STRING#k, $NIL#v, ...)\n}",
+		// Runtime trigger/action specs.
+		"change {\n\t$VAR#v := $CALL#c{name=*}(...)\n} trigger {\n\tprob(0.5)\n} action {\n\traise(E, \"m\")\n}",
+		"change {\n\t$VAR#v := $CALL#c{name=*}(...)\n} trigger {\n\tevery(2)\n} action {\n\tcorrupt(bitflip)\n}",
+		"change {\n\t$VAR#v := $CALL#c{name=*}(...)\n} action {\n\tdelay(5s)\n}",
+		"change {\n\t$CALL{name=*}(...)\n}",
+		// Tricky shapes.
+		"change { x := \"}\" } into { x := \"{\" }",
+		"change { if a { b() } } into { /* comment } */ }",
+		"change {",
+		"into { } change { }",
+		"change { $UNKNOWN#t } into { }",
+		"change { $BLOCK{stmts=9,1} } into { }",
+		"change { x() } trigger { round(0) } action { raise(E) }",
+		"change { x() } trigger { always } action { corrupt(everything) }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		cs, err := CompileFull("fuzz", src)
+		if err != nil {
+			return
+		}
+		if cs.Model == nil {
+			t.Fatal("successful compile returned nil meta-model")
+		}
+		if len(cs.Model.Pattern) == 0 {
+			t.Fatal("successful compile returned empty pattern")
+		}
+		// Determinism: recompiling the same text must agree.
+		cs2, err2 := CompileFull("fuzz", src)
+		if err2 != nil {
+			t.Fatalf("recompile of accepted spec failed: %v", err2)
+		}
+		if cs.IsRuntime() != cs2.IsRuntime() || cs.SiteOnly != cs2.SiteOnly {
+			t.Fatal("recompile disagreed on spec kind")
+		}
+		if len(cs.Model.Pattern) != len(cs2.Model.Pattern) || len(cs.Model.Replace) != len(cs2.Model.Replace) {
+			t.Fatal("recompile disagreed on pattern shape")
+		}
+		if cs.IsRuntime() {
+			if err := cs.Runtime.When.Validate(); err != nil {
+				t.Fatalf("accepted runtime spec has invalid trigger: %v", err)
+			}
+			if err := cs.Runtime.Do.Validate(); err != nil {
+				t.Fatalf("accepted runtime spec has invalid action: %v", err)
+			}
+		}
+	})
+}

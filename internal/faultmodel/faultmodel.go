@@ -11,41 +11,123 @@ import (
 
 	"profipy/internal/dsl"
 	"profipy/internal/pattern"
+	"profipy/internal/runtimefault"
 )
 
-// Spec is one bug specification: a named `change{}into{}` DSL text with a
-// fault-type label used to group experiments in reports.
+// Spec is one bug specification: a named DSL text with a fault-type
+// label used to group experiments in reports. A compile-time spec is
+// the paper's `change{}into{}` mutation; a runtime spec pairs the
+// `change{}` site pattern with a trigger/action clause and injects
+// while the program runs instead of mutating source. The trigger and
+// action can be written either as DSL clauses (`change{} trigger{}
+// action{}`) or through the Trigger/Action fields — the faultload
+// fields the SaaS API and CLI expose — but not both.
 type Spec struct {
 	Name string `json:"name"`
 	Type string `json:"type"`
 	Doc  string `json:"doc,omitempty"`
 	DSL  string `json:"dsl"`
+	// Trigger and Action turn the spec into a runtime fault without DSL
+	// clauses: Trigger is e.g. "always", "prob(0.25)", "every(3)",
+	// "after(5)" or "round(2)" (empty with a non-empty Action defaults
+	// to "always"); Action is e.g. "raise(IOError, \"msg\")",
+	// "corrupt(bitflip|offbyone|null)" or "delay(500ms)".
+	Trigger string `json:"trigger,omitempty"`
+	Action  string `json:"action,omitempty"`
 }
 
 // Compile compiles the spec's DSL into a meta-model.
 func (s Spec) Compile() (*pattern.MetaModel, error) {
+	if s.Trigger != "" || s.Action != "" {
+		return nil, fmt.Errorf("faultmodel: spec %q: runtime trigger/action spec where a compile-time spec is required", s.Name)
+	}
 	return dsl.Compile(s.Name, s.DSL)
 }
 
-// CompileAll compiles a faultload, failing on the first bad spec.
-func CompileAll(specs []Spec) ([]*pattern.MetaModel, error) {
-	out := make([]*pattern.MetaModel, 0, len(specs))
+// CompileFull compiles the spec into its full form, resolving the
+// trigger/action fields against any DSL clauses (the two sources are
+// mutually exclusive).
+func (s Spec) CompileFull() (*dsl.CompiledSpec, error) {
+	cs, err := dsl.CompileFull(s.Name, s.DSL)
+	if err != nil {
+		return nil, err
+	}
+	if s.Trigger == "" && s.Action == "" {
+		if cs.SiteOnly {
+			return nil, fmt.Errorf("faultmodel: spec %q: site-only change block needs trigger/action fields or DSL blocks", s.Name)
+		}
+		return cs, nil
+	}
+	if cs.Runtime != nil {
+		return nil, fmt.Errorf("faultmodel: spec %q: trigger/action given both as DSL clauses and as spec fields", s.Name)
+	}
+	if !cs.SiteOnly {
+		// The spec wrote an into{} replacement AND trigger/action
+		// fields; honoring the fields would silently discard the
+		// mutation the user wrote.
+		return nil, fmt.Errorf("faultmodel: spec %q: trigger/action fields require a site-only change block, not change{}into{}", s.Name)
+	}
+	if s.Action == "" {
+		return nil, fmt.Errorf("faultmodel: spec %q: trigger field without an action field", s.Name)
+	}
+	rf, err := runtimefault.NewFault(s.Name, s.Trigger, s.Action)
+	if err != nil {
+		return nil, fmt.Errorf("faultmodel: spec %q: %w", s.Name, err)
+	}
+	cs.Runtime = rf
+	return cs, nil
+}
+
+// IsRuntime reports whether the spec is a runtime trigger/action spec,
+// from the spec fields and the DSL's section structure alone (no
+// pattern compilation). Malformed specs report false; CompileFull
+// surfaces their errors.
+func (s Spec) IsRuntime() bool {
+	return s.Trigger != "" || s.Action != "" || dsl.HasRuntimeClauses(s.DSL)
+}
+
+// CompileSplit compiles a faultload in one pass, failing on the first
+// bad spec, and splits it into its execution forms: the site
+// meta-models of every spec in faultload order (what the scanner
+// matches — compile-time specs carry their replacement, runtime specs
+// scan-only) and the runtime injector faults keyed by spec name (site
+// selectors empty: campaigns bind them per injection point).
+func CompileSplit(specs []Spec) ([]*pattern.MetaModel, map[string]*runtimefault.Fault, error) {
+	models := make([]*pattern.MetaModel, 0, len(specs))
+	runtime := make(map[string]*runtimefault.Fault)
 	seen := make(map[string]bool, len(specs))
 	for _, s := range specs {
 		if s.Name == "" {
-			return nil, fmt.Errorf("faultmodel: spec with empty name")
+			return nil, nil, fmt.Errorf("faultmodel: spec with empty name")
 		}
 		if seen[s.Name] {
-			return nil, fmt.Errorf("faultmodel: duplicate spec name %q", s.Name)
+			return nil, nil, fmt.Errorf("faultmodel: duplicate spec name %q", s.Name)
 		}
 		seen[s.Name] = true
-		mm, err := s.Compile()
+		cs, err := s.CompileFull()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		out = append(out, mm)
+		models = append(models, cs.Model)
+		if cs.Runtime != nil {
+			runtime[s.Name] = cs.Runtime
+		}
 	}
-	return out, nil
+	return models, runtime, nil
+}
+
+// CompileAll compiles a faultload, returning the scanner-facing site
+// meta-models (see CompileSplit).
+func CompileAll(specs []Spec) ([]*pattern.MetaModel, error) {
+	models, _, err := CompileSplit(specs)
+	return models, err
+}
+
+// CompileRuntime compiles the runtime specs of a faultload into
+// injector faults keyed by spec name (compile-time specs are skipped).
+func CompileRuntime(specs []Spec) (map[string]*runtimefault.Fault, error) {
+	_, runtime, err := CompileSplit(specs)
+	return runtime, err
 }
 
 // Model is a named fault model: a set of specs with documentation.
@@ -92,6 +174,7 @@ func NewRegistry() *Registry {
 	r := &Registry{models: make(map[string]*Model)}
 	r.Register(GSWFIT())
 	r.Register(Extras())
+	r.Register(Runtime())
 	return r
 }
 

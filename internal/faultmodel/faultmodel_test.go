@@ -6,10 +6,72 @@ import (
 )
 
 func TestPredefinedModelsCompile(t *testing.T) {
-	for _, m := range []*Model{GSWFIT(), Extras()} {
+	for _, m := range []*Model{GSWFIT(), Extras(), Runtime()} {
 		if err := m.Validate(); err != nil {
 			t.Errorf("model %s does not compile: %v", m.Name, err)
 		}
+	}
+}
+
+// TestRuntimeModelIsRuntime asserts every spec of the predefined
+// runtime model compiles to a trigger/action fault.
+func TestRuntimeModelIsRuntime(t *testing.T) {
+	m := Runtime()
+	faults, err := CompileRuntime(m.Specs)
+	if err != nil {
+		t.Fatalf("CompileRuntime: %v", err)
+	}
+	if len(faults) != len(m.Specs) {
+		t.Fatalf("runtime model compiled to %d faults, want %d", len(faults), len(m.Specs))
+	}
+	for _, s := range m.Specs {
+		if !s.IsRuntime() {
+			t.Errorf("spec %s should report IsRuntime", s.Name)
+		}
+		if faults[s.Name].Name != s.Name {
+			t.Errorf("fault name %q does not match spec %q", faults[s.Name].Name, s.Name)
+		}
+	}
+}
+
+// TestSpecTriggerActionFields covers the non-DSL spelling of runtime
+// specs: Trigger/Action fields over a site-only change block.
+func TestSpecTriggerActionFields(t *testing.T) {
+	s := Spec{Name: "f", DSL: "change { $CALL{name=*}(...) }", Trigger: "every(2)", Action: "delay(5s)"}
+	cs, err := s.CompileFull()
+	if err != nil {
+		t.Fatalf("CompileFull: %v", err)
+	}
+	if cs.Runtime == nil || cs.Runtime.When.K != 2 || cs.Runtime.Do.DelayNS != 5_000_000_000 {
+		t.Fatalf("compiled fault = %+v", cs.Runtime)
+	}
+	// Action without trigger defaults to always.
+	s2 := Spec{Name: "g", DSL: "change { f() }", Action: "corrupt(null)"}
+	cs2, err := s2.CompileFull()
+	if err != nil {
+		t.Fatalf("CompileFull: %v", err)
+	}
+	if cs2.Runtime == nil || cs2.Runtime.When.Mode != "always" {
+		t.Fatalf("default trigger = %+v", cs2.Runtime)
+	}
+	// Invalid combinations.
+	for name, bad := range map[string]Spec{
+		"fields and clauses": {Name: "b1", DSL: "change { f() } trigger { always } action { raise(E) }", Action: "corrupt(null)"},
+		"trigger only":       {Name: "b2", DSL: "change { f() }", Trigger: "always"},
+		"site-only bare":     {Name: "b3", DSL: "change { f() }"},
+		"bad trigger field":  {Name: "b4", DSL: "change { f() }", Trigger: "sometimes", Action: "corrupt(null)"},
+		"bad action field":   {Name: "b5", DSL: "change { f() }", Action: "explode"},
+		// Fields over a change{}into{} spec would silently discard the
+		// written mutation, so they are rejected.
+		"fields with into": {Name: "b6", DSL: "change { f() } into { g() }", Action: "delay(5s)"},
+	} {
+		if _, err := bad.CompileFull(); err == nil {
+			t.Errorf("%s: CompileFull should fail", name)
+		}
+	}
+	// Compile (the compile-time entry point) rejects runtime specs.
+	if _, err := s.Compile(); err == nil {
+		t.Error("Compile should reject a runtime spec")
 	}
 }
 

@@ -134,6 +134,94 @@ change {
 	}
 }
 
+// Runtime returns the predefined runtime fault model: trigger-based
+// faults that fire while the program runs instead of mutating source —
+// the scenario axis of runtime injectors like ZOFI (transient faults
+// during execution) and InjectV (trigger-conditioned injection). Each
+// spec's change block selects injection sites; execution attaches an
+// injector to the site's enclosing function, so no per-experiment
+// recompilation happens.
+func Runtime() *Model {
+	return &Model{
+		Name:        "runtime",
+		Description: "Runtime trigger-based faults: probabilistic/intermittent raises, return-value corruption, injected latency",
+		Specs: []Spec{
+			{
+				Name: "RT-RAISE", Type: "RuntimeRaise",
+				Doc: "Raise an I/O error on every call of a function that invokes an external API",
+				DSL: `
+change {
+	$VAR#v := $CALL#c{name=*}(...)
+} trigger {
+	always
+} action {
+	raise(InjectedIOError, "runtime fault: injected I/O error")
+}`,
+			},
+			{
+				Name: "RT-FLAKY", Type: "RuntimeFlaky",
+				Doc: "Intermittent failure: raise with probability 0.5 per activation",
+				DSL: `
+change {
+	$VAR#v := $CALL#c{name=*}(...)
+} trigger {
+	prob(0.5)
+} action {
+	raise(InjectedFlakyError, "runtime fault: intermittent failure")
+}`,
+			},
+			{
+				Name: "RT-WEAROUT", Type: "RuntimeWearOut",
+				Doc: "Wear-out failure: raise only after the 3rd activation",
+				DSL: `
+change {
+	$VAR#v := $CALL#c{name=*}(...)
+} trigger {
+	after(3)
+} action {
+	raise(InjectedWearOutError, "runtime fault: wear-out failure")
+}`,
+			},
+			{
+				Name: "RT-BITFLIP", Type: "RuntimeBitflip",
+				Doc: "Transient data corruption: flip one bit of every 2nd return value",
+				DSL: `
+change {
+	$VAR#v := $CALL#c{name=*}(...)
+} trigger {
+	every(2)
+} action {
+	corrupt(bitflip)
+}`,
+			},
+			{
+				Name: "RT-NULLRET", Type: "RuntimeNilReturn",
+				Doc: "Drop a function's return value to nil on every activation",
+				DSL: `
+change {
+	$VAR#v := $CALL#c{name=*}(...)
+} trigger {
+	always
+} action {
+	corrupt(null)
+}`,
+			},
+			{
+				Name: "RT-LATENCY", Type: "RuntimeLatency",
+				Doc: "Inject 5s of virtual latency per activation (slow dependency)",
+				DSL: `
+change {
+	$VAR#v := $CALL#c{name=*}(...)
+} trigger {
+	always
+} action {
+	delay(5s)
+}`,
+			},
+		},
+	}
+}
+
 // Extras returns the additional fault types that §III reports being used
 // in an industrial context: exception injection, None/nil returns from
 // library calls, artificial delays and resource hogs.

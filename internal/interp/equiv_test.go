@@ -651,6 +651,88 @@ func F() any { return process("k1") }`
 	}
 }
 
+// countingHook is a minimal CallHook: it records the sequence of enter
+// and leave events, raises on a configured function, delays on another
+// and rewrites the result of a third — the in-package probe for the
+// hook mechanics the runtime fault engine builds on (the full engine is
+// exercised dual-path in equiv_runtime_test.go).
+type countingHook struct {
+	events    []string
+	raiseOn   string
+	delayOn   string
+	rewriteOn string
+}
+
+func (h *countingHook) EnterCall(it *Interp, fn string) error {
+	h.events = append(h.events, "enter:"+fn)
+	if fn == h.raiseOn {
+		return it.Throw("HookError", "injected by hook")
+	}
+	if fn == h.delayOn {
+		it.AdvanceClock(1_000_000_000)
+	}
+	return nil
+}
+
+func (h *countingHook) LeaveCall(it *Interp, fn string, result Value) (Value, error) {
+	h.events = append(h.events, "leave:"+fn)
+	if fn == h.rewriteOn {
+		return "rewritten", nil
+	}
+	return result, nil
+}
+
+// TestCallHookEquivalence asserts that both execution paths drive the
+// call hook through an identical event sequence, with identical raise,
+// delay and result-rewrite effects.
+func TestCallHookEquivalence(t *testing.T) {
+	src := `
+func a() any { return b() }
+func b() any { return c() + 1 }
+func c() any { return 1 }
+func F() any {
+	out := ""
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				out = r.Type
+			}
+		}()
+		out = str(a())
+	}()
+	return out + ":" + str(b())
+}`
+	for _, mode := range []struct {
+		name string
+		hook countingHook
+	}{
+		{"observe-only", countingHook{}},
+		{"raise-on-c", countingHook{raiseOn: "c"}},
+		{"delay-on-b", countingHook{delayOn: "b"}},
+		{"rewrite-a", countingHook{rewriteOn: "a"}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			var pathHooks []*countingHook
+			setup := func(it *Interp) {
+				// runBothPaths creates one interpreter per path; give
+				// each its own hook instance so event logs stay separate.
+				h := mode.hook
+				pathHooks = append(pathHooks, &h)
+				it.SetCallHook(&h)
+			}
+			runBothPaths(t, Config{}, map[string]string{"t.go": "package main\n" + src},
+				[]string{"t.go"}, setup, "F")
+			if len(pathHooks) != 2 {
+				t.Fatalf("expected 2 interpreters, saw %d", len(pathHooks))
+			}
+			tr, cp := pathHooks[0], pathHooks[1]
+			if fmt.Sprint(tr.events) != fmt.Sprint(cp.events) {
+				t.Errorf("hook event sequence mismatch:\n tree: %v\n comp: %v", tr.events, cp.events)
+			}
+		})
+	}
+}
+
 // TestProgramReuseAcrossRuns checks that one compiled Program serves many
 // runs with independent global state (the execute-many contract).
 func TestProgramReuseAcrossRuns(t *testing.T) {

@@ -48,6 +48,30 @@ type Config struct {
 	MaxSteps int64
 	// Stdout receives print/println output; nil discards it.
 	Stdout io.Writer
+	// Hook observes (and may perturb) every interpreted function call;
+	// nil disables the mechanism. See CallHook.
+	Hook CallHook
+}
+
+// CallHook interposes on interpreted function calls — the runtime fault
+// injection surface. Both execution paths (tree-walk and compiled)
+// invoke the hook at exactly the same points with exactly the same
+// function names, so a deterministic hook observes an identical call
+// sequence on either path:
+//
+//   - EnterCall runs after the callee's frame is pushed and parameters
+//     are bound, before the first body statement. A non-nil error aborts
+//     the call as if its body had failed (a *PanicError is recoverable
+//     by outer defers, like any interpreted panic).
+//   - LeaveCall runs after the body and its defers complete without an
+//     error; the returned value replaces the call's result.
+//
+// Function names are the interpreter's display names: top-level
+// functions by declaration name, methods as "Type.Method", function
+// literals as "<func>". Host functions and builtins are not hooked.
+type CallHook interface {
+	EnterCall(it *Interp, fn string) error
+	LeaveCall(it *Interp, fn string, result Value) (Value, error)
 }
 
 // Interp executes a loaded minigo program.
@@ -64,6 +88,7 @@ type Interp struct {
 	maxSteps   int64
 
 	stdout io.Writer
+	hook   CallHook
 	frames []*frame
 
 	// Compiled-execution state (NewRun): the program, the flat global
@@ -112,9 +137,21 @@ func New(cfg Config) *Interp {
 		deadlineNS: cfg.DeadlineNS,
 		maxSteps:   cfg.MaxSteps,
 		stdout:     cfg.Stdout,
+		hook:       cfg.Hook,
 	}
 	registerBuiltins(it)
 	return it
+}
+
+// SetCallHook installs (or clears, with nil) the call hook. Install it
+// before the first Call; swapping hooks mid-execution is not supported.
+func (it *Interp) SetCallHook(h CallHook) { it.hook = h }
+
+// Throw raises an interpreted exception from host code (hook or host
+// function): the error is a *PanicError carrying an *Exc, recoverable by
+// deferred recover() like any interpreted panic.
+func (it *Interp) Throw(excType, msg string) error {
+	return it.throw(excType, msg)
 }
 
 // RegisterModule makes a host module importable by target sources.
@@ -327,12 +364,23 @@ func (it *Interp) callClosure(f *Closure, args []Value) (result Value, err error
 	// Extra args beyond declared params are dropped (emulating the
 	// paper's "omitted parameters use defaults" semantics in reverse).
 
-	ctl, ret, err := it.execBlock(f.Body.List, scope)
-	if ctl == ctlReturn {
-		result = ret
+	var cerr error
+	if it.hook != nil {
+		cerr = it.hook.EnterCall(it, f.Name)
+	}
+	if cerr == nil {
+		var ctl control
+		var ret Value
+		ctl, ret, cerr = it.execBlock(f.Body.List, scope)
+		if ctl == ctlReturn {
+			result = ret
+		}
 	}
 	// Run defers (LIFO); a deferred recover() may squash a panic.
-	err = it.runDefers(fr, err)
+	err = it.runDefers(fr, cerr)
+	if err == nil && it.hook != nil {
+		result, err = it.hook.LeaveCall(it, f.Name, result)
+	}
 	return result, err
 }
 

@@ -366,6 +366,7 @@ func NewRun(p *Program, cfg Config) *Interp {
 		deadlineNS: cfg.DeadlineNS,
 		maxSteps:   cfg.MaxSteps,
 		stdout:     cfg.Stdout,
+		hook:       cfg.Hook,
 		prog:       p,
 	}
 	it.gslots = make([]Value, p.ln.size())
@@ -463,11 +464,22 @@ func (it *Interp) callCompiled(f *compiledClosure, args []Value) (result Value, 
 	}
 	// Extra args beyond declared params are dropped (tree-walk parity).
 
-	ctl, ret, cerr := runCstmts(it, cf, fn.body)
-	if ctl == ctlReturn {
-		result = ret
+	var cerr error
+	if it.hook != nil {
+		cerr = it.hook.EnterCall(it, fn.name)
+	}
+	if cerr == nil {
+		var ctl control
+		var ret Value
+		ctl, ret, cerr = runCstmts(it, cf, fn.body)
+		if ctl == ctlReturn {
+			result = ret
+		}
 	}
 	err = it.runDefers(fr, cerr)
+	if err == nil && it.hook != nil {
+		result, err = it.hook.LeaveCall(it, fn.name, result)
+	}
 	it.frames = it.frames[:len(it.frames)-1]
 	putCframe(cf)
 	putFrame(fr)

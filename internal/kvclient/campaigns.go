@@ -97,3 +97,13 @@ func CampaignC(rt *sandbox.Runtime, seed int64) *campaign.Campaign {
 	return newCampaign("campaign-C: resource management bugs", rt,
 		[]string{FileWorkload}, CampaignCFaultload(), seed)
 }
+
+// CampaignR builds the mixed compile-time + runtime campaign: §V-A
+// style mutations alongside trigger-based runtime injectors (flaky,
+// wear-out, corruption and latency faults) over the client modules.
+// Runtime experiments execute the campaign's base compiled program
+// unchanged — only the injector table differs per experiment.
+func CampaignR(rt *sandbox.Runtime, seed int64) *campaign.Campaign {
+	return newCampaign("campaign-R: runtime trigger-based faults", rt,
+		[]string{FileClient, FileLock, FileAuth}, CampaignRFaultload(), seed)
+}

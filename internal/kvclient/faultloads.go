@@ -164,6 +164,83 @@ change {
 	return specs
 }
 
+// CampaignRFaultload returns the mixed faultload of the runtime
+// injection campaign: compile-time mutations (a §V-A style exception at
+// external API calls) alongside runtime trigger/action faults that fire
+// while the client runs — flaky I/O raised with probability ½, a
+// wear-out failure after the 3rd activation, every-2nd return-value
+// corruption and injected latency. Runtime experiments reuse the
+// campaign's base compiled program unchanged (no per-experiment
+// recompilation); compile-time ones mutate as usual, in one plan.
+func CampaignRFaultload() []faultmodel.Spec {
+	return []faultmodel.Spec{
+		{
+			Name: "ext-throw-exception",
+			Type: "ThrowException",
+			Doc:  "Compile-time: raise an exception at a call to an external library API",
+			DSL: `
+change {
+	$VAR#v := $CALL#c{name=urllib.*,osio.*}(...)
+} into {
+	$PANIC{type=ConnectTimeoutError; msg=injected exception at external API call}
+}`,
+		},
+		{
+			Name: "rt-flaky-io",
+			Type: "RuntimeFlakyIO",
+			Doc:  "Runtime: a function calling the HTTP layer fails with probability 0.5 per activation",
+			DSL: `
+change {
+	$VAR#v := $CALL#c{name=urllib.*}(...)
+} trigger {
+	prob(0.5)
+} action {
+	raise(ConnectTimeoutError, "runtime fault: flaky connection")
+}`,
+		},
+		{
+			Name: "rt-wearout",
+			Type: "RuntimeWearOut",
+			Doc:  "Runtime: a function calling the HTTP layer wears out after its 3rd activation",
+			DSL: `
+change {
+	$VAR#v := $CALL#c{name=urllib.*}(...)
+} trigger {
+	after(3)
+} action {
+	raise(EtcdConnectionFailed, "runtime fault: connection pool exhausted")
+}`,
+		},
+		{
+			Name: "rt-corrupt-every-2nd",
+			Type: "RuntimeCorrupt",
+			Doc:  "Runtime: every 2nd return value of a key-normalizing function is bit-flipped",
+			DSL: `
+change {
+	$VAR#v := $CALL#c{name=*.normalize,*.encode}(...)
+} trigger {
+	every(2)
+} action {
+	corrupt(bitflip)
+}`,
+		},
+		{
+			// The trigger/action spelling through the Spec fields (the
+			// faultload fields the SaaS API and CLI expose) rather than
+			// DSL clauses — both forms compile to the same fault.
+			Name:    "rt-slow-dependency",
+			Type:    "RuntimeLatency",
+			Doc:     "Runtime: 30s of virtual latency per HTTP-layer activation (slow dependency)",
+			Trigger: "always",
+			Action:  "delay(30s)",
+			DSL: `
+change {
+	$VAR#v := $CALL#c{name=urllib.*}(...)
+}`,
+		},
+	}
+}
+
 // CampaignCFaultload returns the faultload of §V-C (Table I, row 3):
 // resource management bugs — CPU hogs injected right after client API
 // calls (stale threads generating high CPU load).

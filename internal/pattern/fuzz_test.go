@@ -1,0 +1,111 @@
+// Fuzz coverage for the matching engine, in the external test package
+// so the fixed meta-models can be compiled through the DSL front end
+// (dsl imports pattern, so the in-package test cannot).
+package pattern_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"profipy/internal/dsl"
+	"profipy/internal/pattern"
+)
+
+// fuzzModels is a fixed panel of meta-models covering the matcher's
+// directive kinds: calls with argument patterns and globs, blocks with
+// cardinalities, expression/variable/literal holes.
+func fuzzModels(tb testing.TB) []*pattern.MetaModel {
+	tb.Helper()
+	specs := []struct{ name, src string }{
+		{"mfc", "change {\n\t$BLOCK{tag=b1; stmts=0,*}\n\t$CALL{name=*}(...)\n\t$BLOCK{tag=b2; stmts=0,*}\n} into {\n\t$BLOCK{tag=b1}\n\t$BLOCK{tag=b2}\n}"},
+		{"mia", "change {\n\tif $EXPR#e {\n\t\t$BLOCK{tag=body; stmts=1,4}\n\t}\n} into {\n\t$BLOCK{tag=body}\n}"},
+		{"wvav", "change {\n\t$VAR#x = $STRING#v\n} into {\n\t$VAR#x = $CORRUPT($STRING#v)\n}"},
+		{"assign-call", "change {\n\t$VAR#v := $CALL#c{name=u*.*}($EXPR#a, ...)\n} into {\n\t$VAR#v := $NIL\n}"},
+		{"int-arg", "change {\n\t$CALL#c{name=*}(..., $INT#n)\n} into {\n\t$CALL#c(..., $CORRUPT($INT#n))\n}"},
+	}
+	models := make([]*pattern.MetaModel, 0, len(specs))
+	for _, s := range specs {
+		mm, err := dsl.Compile(s.name, s.src)
+		if err != nil {
+			tb.Fatalf("fixed model %s failed to compile: %v", s.name, err)
+		}
+		models = append(models, mm)
+	}
+	return models
+}
+
+// parseFuzzBody parses fuzzed text as a Go function body and returns
+// its statements (nil when the fragment does not parse).
+func parseFuzzBody(src string) []ast.Stmt {
+	f, err := parser.ParseFile(token.NewFileSet(), "fuzz.go",
+		"package p\nfunc fuzzTarget() {\n"+src+"\n}", parser.SkipObjectResolution)
+	if err != nil {
+		return nil
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "fuzzTarget" && fd.Body != nil {
+			return fd.Body.List
+		}
+	}
+	return nil
+}
+
+// FuzzMatchPrefix throws arbitrary Go statement fragments at the
+// matcher with the fixed model panel. The matcher must never panic and
+// every reported match must satisfy the window invariants: a
+// non-negative statement count that stays inside the list, a rematch at
+// the same start reproducing the same window, and the pre-filter never
+// rejecting a start the matcher accepts.
+//
+// Seed corpus: testdata/fuzz/FuzzMatchPrefix/ plus the inline seeds.
+func FuzzMatchPrefix(f *testing.F) {
+	seeds := []string{
+		"x := f(1)\ng(x)\nreturn",
+		"a = \"s\"\nb = `raw`",
+		"if cond {\n\tf()\n}",
+		"if a && b {\n\tg(1, 2)\n}",
+		"v := urllib.Request(\"GET\", url, params)",
+		"for i := 0; i < 10; i++ {\n\th(i)\n}",
+		"switch v {\ncase 1:\n\tf()\ndefault:\n\tg()\n}",
+		"defer f()\ngo g()",
+		"x, y := f(), g()\nx = y",
+		"f(g(h(1)), []any{1, 2}, map[string]any{\"k\": v})",
+		"s.Set(key, value, 7)",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	models := fuzzModels(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts := parseFuzzBody(src)
+		if stmts == nil {
+			return
+		}
+		for _, mm := range models {
+			for start := 0; start <= len(stmts); start++ {
+				n, bindings, ok := mm.MatchPrefix(stmts, start)
+				if !ok {
+					continue
+				}
+				if n < 0 || start+n > len(stmts) {
+					t.Fatalf("%s: match window [%d,+%d) escapes list of %d statements", mm.Name, start, n, len(stmts))
+				}
+				if start < len(stmts) && !mm.CanStartWith(stmts[start]) {
+					t.Fatalf("%s: pre-filter rejects a start the matcher accepts (stmt %d)", mm.Name, start)
+				}
+				n2, _, ok2 := mm.MatchPrefix(stmts, start)
+				if !ok2 || n2 != n {
+					t.Fatalf("%s: rematch at %d diverged: (%d,%v) vs (%d,%v)", mm.Name, start, n, ok, n2, ok2)
+				}
+				for tag, b := range bindings {
+					if b.Expr == nil && b.Stmts == nil {
+						t.Fatalf("%s: binding %q captured nothing", mm.Name, tag)
+					}
+				}
+			}
+		}
+	})
+}

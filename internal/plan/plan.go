@@ -12,6 +12,7 @@ import (
 
 	"profipy/internal/faultmodel"
 	"profipy/internal/pattern"
+	"profipy/internal/runtimefault"
 	"profipy/internal/scanner"
 )
 
@@ -101,6 +102,16 @@ func (p *Plan) Sample(n int, seed int64) *Plan {
 		out.Points = append(out.Points, p.Points[idx])
 	}
 	return out
+}
+
+// RuntimeFaults compiles the plan's runtime trigger/action specs into
+// injector faults keyed by spec name; compile-time specs are skipped.
+// An empty map means the plan is purely compile-time mutation. (The
+// campaign engine partitions its faultload directly via
+// faultmodel.CompileSplit; this is the introspection form for plan
+// consumers.)
+func (p *Plan) RuntimeFaults() (map[string]*runtimefault.Fault, error) {
+	return faultmodel.CompileRuntime(p.Specs)
 }
 
 // CountByType returns experiments per fault type.

@@ -47,6 +47,87 @@ change {
 	return p
 }
 
+// buildMixedPlan builds a plan over one compile-time and one runtime
+// spec sharing the same target.
+func buildMixedPlan(t *testing.T) *Plan {
+	t.Helper()
+	specs := []faultmodel.Spec{
+		{Name: "mfc", Type: "MFC", DSL: `
+change {
+	$BLOCK{tag=b1; stmts=1,*}
+	$CALL{name=Delete*}(...)
+	$BLOCK{tag=b2; stmts=1,*}
+} into {
+	$BLOCK{tag=b1}
+	$BLOCK{tag=b2}
+}`},
+		{Name: "rt-flaky", Type: "RuntimeFlaky", DSL: `
+change {
+	$CALL{name=Delete*}(...)
+} trigger {
+	prob(0.5)
+} action {
+	raise(E, "m")
+}`},
+	}
+	p, err := Build(map[string][]byte{"a.go": []byte(target)}, specs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+// TestRuntimeSpecsEnumerated asserts that runtime trigger/action specs
+// produce injection points through the same scan as compile-time ones,
+// and that RuntimeFaults identifies them.
+func TestRuntimeSpecsEnumerated(t *testing.T) {
+	p := buildMixedPlan(t)
+	byType := p.CountByType()
+	if byType["MFC"] != 2 || byType["RuntimeFlaky"] != 2 {
+		t.Fatalf("byType = %v, want 2 MFC + 2 RuntimeFlaky", byType)
+	}
+	rt, err := p.RuntimeFaults()
+	if err != nil {
+		t.Fatalf("RuntimeFaults: %v", err)
+	}
+	if len(rt) != 1 || rt["rt-flaky"] == nil {
+		t.Fatalf("RuntimeFaults = %v, want rt-flaky only", rt)
+	}
+	if rt["rt-flaky"].Do.ExcType != "E" {
+		t.Fatalf("runtime fault action = %+v", rt["rt-flaky"].Do)
+	}
+	runtimePoints := 0
+	for _, pt := range p.Points {
+		if _, ok := rt[pt.Spec]; ok {
+			runtimePoints++
+		}
+	}
+	if runtimePoints != 2 {
+		t.Fatalf("runtime points = %d, want 2", runtimePoints)
+	}
+}
+
+// TestRuntimePlanSurvivesSaveLoad asserts the new spec fields round-trip
+// through the plan's JSON form.
+func TestRuntimePlanSurvivesSaveLoad(t *testing.T) {
+	p := buildMixedPlan(t)
+	data, err := p.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := p2.RuntimeFaults()
+	if err != nil {
+		t.Fatalf("RuntimeFaults after round-trip: %v", err)
+	}
+	if len(rt) != 1 {
+		t.Fatalf("runtime specs lost in round-trip: %v", rt)
+	}
+}
+
 func TestBuildAndCounts(t *testing.T) {
 	p := buildTestPlan(t)
 	// 2 MFC matches + 4 pre/post call matches.

@@ -65,6 +65,10 @@ type CampaignSummary struct {
 	Points   int    `json:"points"`
 	Covered  int    `json:"covered"`
 	Failures int    `json:"failures"`
+	// Mutated and Injected split the experiments by injection kind:
+	// compile-time source mutation vs runtime trigger-based injection.
+	Mutated  int `json:"mutated"`
+	Injected int `json:"injected"`
 }
 
 // campaignRun stores a finished campaign.
@@ -325,6 +329,7 @@ func (s *Server) storeCampaign(project, projName string, res *campaign.Result) s
 		summary: CampaignSummary{
 			ID: id, Project: project,
 			Points: res.Report.Total, Covered: res.Report.Covered, Failures: res.Report.Failures,
+			Mutated: res.Mutated, Injected: res.Injected,
 		},
 		report: res.Report,
 		text:   res.Report.Render("campaign " + id + " (" + projName + ")"),
@@ -499,7 +504,11 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 const DemoProjectID = "demo-python-etcd"
 
 // DemoCampaignRequest builds the request reproducing one of the §V
-// campaigns ("A", "B" or "C") against the demo project.
+// campaigns ("A", "B" or "C") against the demo project, or the mixed
+// compile-time + runtime injection campaign ("R"). Runtime faultloads
+// need no dedicated API surface: the specs' DSL trigger/action clauses
+// and the Trigger/Action spec fields travel through the same
+// CampaignRequest.Specs field as compile-time ones.
 func DemoCampaignRequest(which string, seed int64) (CampaignRequest, error) {
 	req := CampaignRequest{
 		Project: DemoProjectID,
@@ -518,8 +527,11 @@ func DemoCampaignRequest(which string, seed int64) (CampaignRequest, error) {
 	case "C":
 		req.Specs = kvclient.CampaignCFaultload()
 		req.ScanFiles = []string{kvclient.FileWorkload}
+	case "R":
+		req.Specs = kvclient.CampaignRFaultload()
+		req.ScanFiles = []string{kvclient.FileClient, kvclient.FileLock, kvclient.FileAuth}
 	default:
-		return req, fmt.Errorf("unknown demo campaign %q (want A, B or C)", which)
+		return req, fmt.Errorf("unknown demo campaign %q (want A, B, C or R)", which)
 	}
 	req.WorkloadFiles = []string{kvclient.FileClient, kvclient.FileLock, kvclient.FileAuth, kvclient.FileWorkload}
 	return req, nil

@@ -174,10 +174,66 @@ func TestDemoCampaignRequestValidation(t *testing.T) {
 	if _, err := DemoCampaignRequest("Z", 1); err == nil {
 		t.Error("unknown demo campaign should fail")
 	}
-	for _, which := range []string{"A", "b", "C"} {
+	for _, which := range []string{"A", "b", "C", "r"} {
 		if _, err := DemoCampaignRequest(which, 1); err != nil {
 			t.Errorf("DemoCampaignRequest(%s): %v", which, err)
 		}
+	}
+}
+
+// TestRuntimeFaultloadCampaignAPI runs the mixed compile-time + runtime
+// demo campaign through the HTTP API: runtime specs (DSL trigger/action
+// clauses and the Trigger/Action spec fields) travel through the same
+// faultload field, the summary splits experiments by injection kind,
+// and the report carries the per-fault trigger table.
+func TestRuntimeFaultloadCampaignAPI(t *testing.T) {
+	ts := newTestServer(t)
+	req, err := DemoCampaignRequest("R", 404)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postJSON(t, ts.URL+"/api/v1/campaigns?wait=true", req)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	var id string
+	_ = json.Unmarshal(out["id"], &id)
+
+	code, body := getBody(t, ts.URL+"/api/v1/campaigns/"+id)
+	if code != 200 || !strings.Contains(body, "\"triggers\"") {
+		t.Fatalf("report should carry the runtime trigger table: %d %s", code, body)
+	}
+	if !strings.Contains(body, "rt-flaky-io") || !strings.Contains(body, "rt-slow-dependency") {
+		t.Fatalf("report should aggregate every runtime fault: %s", body)
+	}
+
+	code, body = getBody(t, ts.URL+"/api/v1/campaigns")
+	if code != 200 {
+		t.Fatalf("campaign list = %d", code)
+	}
+	var summaries []CampaignSummary
+	if err := json.Unmarshal([]byte(body), &summaries); err != nil {
+		t.Fatalf("campaign list json: %v", err)
+	}
+	var sum *CampaignSummary
+	for i := range summaries {
+		if summaries[i].ID == id {
+			sum = &summaries[i]
+		}
+	}
+	if sum == nil {
+		t.Fatalf("campaign %s missing from list", id)
+	}
+	if sum.Injected == 0 || sum.Mutated == 0 {
+		t.Errorf("mixed campaign summary should count both kinds: %+v", sum)
+	}
+	if sum.Injected+sum.Mutated != sum.Points {
+		t.Errorf("kind split (%d+%d) does not cover all %d points", sum.Mutated, sum.Injected, sum.Points)
+	}
+
+	code, text := getBody(t, ts.URL+"/api/v1/campaigns/"+id+"/text")
+	if code != 200 || !strings.Contains(text, "runtime injectors:") {
+		t.Fatalf("text report should render the injector table: %d %s", code, text)
 	}
 }
 

@@ -40,6 +40,21 @@ type Config struct {
 	// FaultFree keeps the trigger disabled in every round (used by the
 	// coverage analysis pass and by golden runs).
 	FaultFree bool
+	// Injector, when set, is the experiment's runtime fault injector
+	// table (runtimefault.Engine): it is installed as the call hook of
+	// every round's interpreter and armed per round exactly like the
+	// compile-time trigger (round 1 armed, later rounds disarmed). One
+	// injector serves all rounds of one experiment, so activation
+	// counters persist across rounds.
+	Injector Injector
+}
+
+// Injector is a runtime fault injector table attachable to a workload:
+// the interpreter call hook plus per-round arming.
+type Injector interface {
+	interp.CallHook
+	// BeginRound arms or disarms the table for round (0-based).
+	BeginRound(round int, faultEnabled bool)
 }
 
 // RoundResult is the outcome of one workload round.
@@ -93,7 +108,11 @@ func Run(c *sandbox.Container, cfg Config) (*Result, error) {
 	res := &Result{Logs: map[string]string{}}
 	for i := 0; i < rounds; i++ {
 		// Round 1 runs with the fault enabled, later rounds disabled.
-		c.SetTrigger(i == 0 && !cfg.FaultFree)
+		enabled := i == 0 && !cfg.FaultFree
+		c.SetTrigger(enabled)
+		if cfg.Injector != nil {
+			cfg.Injector.BeginRound(i, enabled)
+		}
 		rr, err := runRound(c, cfg)
 		if err != nil {
 			return nil, err
@@ -116,6 +135,9 @@ func runRound(c *sandbox.Container, cfg Config) (RoundResult, error) {
 		DeadlineNS: cfg.TimeoutNS,
 		MaxSteps:   cfg.MaxSteps,
 		Stdout:     c.Log("stdout"),
+	}
+	if cfg.Injector != nil {
+		icfg.Hook = cfg.Injector
 	}
 	var it *interp.Interp
 	if cfg.Program != nil {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"profipy/internal/interp"
+	"profipy/internal/runtimefault"
 	"profipy/internal/sandbox"
 )
 
@@ -43,6 +44,71 @@ func Workload() any {
 	}
 	if c.State() != sandbox.StateExited {
 		t.Errorf("container state = %v", c.State())
+	}
+}
+
+// TestInjectorTwoRoundProtocol runs the runtime-injector analog of the
+// two-round protocol through the real Run loop: an always fault fires
+// in round 1 and stays silent in the disarmed round 2, while a
+// round(2)-scoped fault does the inverse — and a FaultFree run keeps
+// both silent.
+func TestInjectorTwoRoundProtocol(t *testing.T) {
+	src := []byte(`package main
+
+func hooked() any { return 1 }
+
+func Workload() any { return hooked() }`)
+	mkEngine := func(when runtimefault.Trigger) *runtimefault.Engine {
+		eng, err := runtimefault.NewEngine([]runtimefault.Fault{{
+			Name: "rt", Site: "hooked", When: when,
+			Do: runtimefault.Action{Kind: runtimefault.ActionRaise, ExcType: "Injected", Message: "m"},
+		}}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	_, c := newContainer(map[string][]byte{"w.go": src})
+	res, err := Run(c, Config{Entry: "Workload", Files: []string{"w.go"}, Env: env,
+		Injector: mkEngine(runtimefault.Trigger{Mode: runtimefault.TriggerAlways})})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r1 := res.Round1(); r1.OK || r1.Exception != "Injected" {
+		t.Errorf("always fault round 1 = %+v, want injected crash", r1)
+	}
+	if r2 := res.Round2(); !r2.OK {
+		t.Errorf("always fault round 2 = %+v, want recovery once disarmed", r2)
+	}
+
+	_, c2 := newContainer(map[string][]byte{"w.go": src})
+	res, err = Run(c2, Config{Entry: "Workload", Files: []string{"w.go"}, Env: env,
+		Injector: mkEngine(runtimefault.Trigger{Mode: runtimefault.TriggerRound, Round: 2})})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r1 := res.Round1(); !r1.OK {
+		t.Errorf("round(2) fault round 1 = %+v, want clean run", r1)
+	}
+	if r2 := res.Round2(); r2.OK || r2.Exception != "Injected" {
+		t.Errorf("round(2) fault round 2 = %+v, want injected crash", r2)
+	}
+
+	_, c3 := newContainer(map[string][]byte{"w.go": src})
+	eng := mkEngine(runtimefault.Trigger{Mode: runtimefault.TriggerRound, Round: 2})
+	res, err = Run(c3, Config{Entry: "Workload", Files: []string{"w.go"}, Env: env,
+		FaultFree: true, Injector: eng})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, rr := range res.Rounds {
+		if !rr.OK {
+			t.Errorf("fault-free round %d = %+v, want clean run", i+1, rr)
+		}
+	}
+	if rep := eng.Report(); rep[0].Fires != 0 {
+		t.Errorf("fault-free run fired: %+v", rep)
 	}
 }
 

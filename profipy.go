@@ -34,6 +34,7 @@ import (
 	"profipy/internal/mutator"
 	"profipy/internal/pattern"
 	"profipy/internal/plan"
+	"profipy/internal/runtimefault"
 	"profipy/internal/sandbox"
 	"profipy/internal/scanner"
 	"profipy/internal/trace"
@@ -80,7 +81,26 @@ type (
 	TraceRecorder = trace.Recorder
 	// Span is one recorded API invocation.
 	Span = trace.Span
+	// RuntimeFault is one runtime trigger-based fault: site selector,
+	// trigger and action, fired by an injector engine while the program
+	// runs (no source mutation).
+	RuntimeFault = runtimefault.Fault
+	// RuntimeTrigger decides when an armed runtime fault fires.
+	RuntimeTrigger = runtimefault.Trigger
+	// RuntimeAction is what a firing runtime fault does.
+	RuntimeAction = runtimefault.Action
+	// InjectorEngine is a per-experiment runtime injector table,
+	// attachable to a workload through WorkloadConfig.Injector.
+	InjectorEngine = runtimefault.Engine
 )
+
+// NewInjectorEngine builds a runtime injector table whose trigger and
+// corruption randomness flows from one seeded PRNG: identical faults,
+// seed and workload produce identical injection decisions on both the
+// compiled and tree-walk execution paths.
+func NewInjectorEngine(faults []RuntimeFault, seed int64) (*InjectorEngine, error) {
+	return runtimefault.NewEngine(faults, seed)
+}
 
 // Compile compiles a DSL bug specification into a meta-model.
 func Compile(name, dslText string) (*MetaModel, error) {
