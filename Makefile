@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_PKGS = ./internal/scanner/ ./internal/pattern/ ./internal/mutator/ ./internal/interp/
 
-.PHONY: build vet test race shuffle cover fuzz-smoke golden-update bench bench-exec bench-all
+.PHONY: build vet test race shuffle cover fuzz-smoke golden-update bench bench-exec bench-pipeline bench-all
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,12 @@ bench: bench-exec
 # experiment latency, compiled vs tree-walk, as machine-readable JSON.
 bench-exec:
 	PROFIPY_BENCH_JSON=$(CURDIR)/BENCH_exec.json $(GO) test -run TestEmitExecBenchJSON -count=1 .
+
+# Streaming-pipeline benchmark: campaign record throughput through the
+# Local vs Sharded executors plus the online aggregator's per-record
+# cost, as machine-readable JSON (BENCH_pipeline.json, a CI artifact).
+bench-pipeline:
+	PROFIPY_BENCH_PIPELINE_JSON=$(CURDIR)/BENCH_pipeline.json $(GO) test -run TestEmitPipelineBenchJSON -count=1 .
 
 # Everything, including the paper-evaluation campaign benchmarks at the
 # repository root (slow).

@@ -2,58 +2,128 @@
 // uploading target projects, registering fault models, running fault
 // injection campaigns and retrieving failure-analysis reports.
 // Campaigns are scheduled asynchronously on a bounded job queue drained
-// by a worker pool; clients poll jobs for streaming progress.
+// by a worker pool; experiment records stream into a persistent result
+// store as they complete, so clients can page and live-follow them, and
+// a restarted daemon keeps serving campaigns a previous process
+// finished.
 //
-//	profipyd -addr :8080 -cores 8 -workers 2 -queue 64 -retain 256
+//	profipyd -addr :8080 -cores 8 -workers 2 -queue 64 -retain 256 -data-dir /var/lib/profipy
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: the HTTP server
+// stops accepting work and drains in-flight requests (bounded by
+// -shutdown-timeout), running campaigns are canceled, and the result
+// store flushes — no record that reached the store is lost.
 //
 // Endpoints (see internal/saas):
 //
-//	POST   /api/v1/projects            upload a project
-//	GET    /api/v1/projects            list projects
-//	POST   /api/v1/faultmodels         register a fault model (JSON DSL)
-//	GET    /api/v1/faultmodels         list models
-//	GET    /api/v1/faultmodels/{name}  fetch a model
-//	POST   /api/v1/campaigns           enqueue a campaign → 202 {job}
-//	                                   (?wait=true blocks → 201 {id, report})
-//	GET    /api/v1/campaigns           list finished campaigns
-//	GET    /api/v1/campaigns/{id}      campaign report (JSON)
-//	GET    /api/v1/campaigns/{id}/text campaign report (text)
-//	GET    /api/v1/jobs                list campaign jobs
-//	GET    /api/v1/jobs/{id}           job status + live progress
-//	DELETE /api/v1/jobs/{id}           cancel a queued/running job
+//	POST   /api/v1/projects                upload a project
+//	GET    /api/v1/projects                list projects
+//	POST   /api/v1/faultmodels             register a fault model (JSON DSL)
+//	GET    /api/v1/faultmodels             list models
+//	GET    /api/v1/faultmodels/{name}      fetch a model
+//	POST   /api/v1/campaigns               enqueue a campaign → 202 {job}
+//	                                       (?wait=true blocks → 201 {id, report})
+//	GET    /api/v1/campaigns               list finished campaigns
+//	GET    /api/v1/campaigns/{id}          campaign report (JSON)
+//	GET    /api/v1/campaigns/{id}/text     campaign report (text)
+//	GET    /api/v1/campaigns/{id}/records  record page (?after=<cursor>&limit=<n>)
+//	GET    /api/v1/campaigns/{id}/stream   live NDJSON record stream (?after=<cursor>)
+//	GET    /api/v1/jobs                    list campaign jobs
+//	GET    /api/v1/jobs/{id}               job status + live progress
+//	DELETE /api/v1/jobs/{id}               cancel a queued/running job
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"profipy/internal/saas"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "profipyd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("profipyd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cores := fs.Int("cores", 4, "simulated host cores (experiments run N-1 in parallel)")
 	workers := fs.Int("workers", 2, "campaign scheduler worker pool size")
 	queue := fs.Int("queue", 64, "max queued campaign jobs before 503")
 	retain := fs.Int("retain", 256, "finished jobs kept for polling")
+	dataDir := fs.String("data-dir", "", "persistent result store directory (empty = in-memory only)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful HTTP drain deadline on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := saas.NewServerWithOptions(saas.Options{
+	srv, err := saas.NewServerWithOptions(saas.Options{
 		Cores: *cores, Workers: *workers, QueueDepth: *queue, RetainJobs: *retain,
+		DataDir: *dataDir,
 	})
-	defer srv.Close()
-	fmt.Printf("profipyd listening on %s (demo project: %s, %d campaign workers)\n",
-		*addr, saas.DemoProjectID, *workers)
-	return http.ListenAndServe(*addr, srv.Handler())
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	persistence := "in-memory results"
+	if *dataDir != "" {
+		persistence = "data dir " + *dataDir
+	}
+	fmt.Printf("profipyd listening on %s (demo project: %s, %d campaign workers, %s)\n",
+		ln.Addr(), saas.DemoProjectID, *workers, persistence)
+	return serve(ctx, srv, ln, *shutdownTimeout)
+}
+
+// serve runs the HTTP server until ctx is canceled (SIGINT/SIGTERM),
+// then shuts down in order: stop accepting connections and drain
+// in-flight requests within the deadline, cancel the campaign
+// scheduler, and flush/seal the result store. Records that reached the
+// store before shutdown survive a subsequent restart.
+func serve(ctx context.Context, srv *saas.Server, ln net.Listener, drain time.Duration) error {
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("profipyd: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Start the HTTP drain (stops accepting connections immediately),
+	// then close the service concurrently: canceling running campaigns
+	// is what ends long-lived /stream followers, so ordinary requests
+	// drain promptly instead of Shutdown stalling on live streams for
+	// the whole deadline. Close also flushes and seals the result
+	// store, so nothing that reached it is lost.
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- httpSrv.Shutdown(shCtx) }()
+	srv.Close()
+	shutdownErr := <-shutdownDone
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	return nil
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"profipy/internal/saas"
+)
+
+// TestServeGracefulShutdown drives the daemon's lifecycle: serve
+// requests, cancel the context (what SIGINT/SIGTERM do), and verify
+// serve drains and returns cleanly.
+func TestServeGracefulShutdown(t *testing.T) {
+	srv, err := saas.NewServerWithOptions(saas.Options{Cores: 2, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, srv, ln, 5*time.Second) }()
+
+	// The server answers while running.
+	url := "http://" + ln.Addr().String() + "/api/v1/projects"
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(url)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	var projects []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&projects); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(projects) == 0 {
+		t.Fatal("no demo project listed")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	// The listener is released.
+	if _, err := http.Get(url); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+// TestRunFlagHandling covers the flag path: bad flags error out, and a
+// canceled context stops a successfully started daemon.
+func TestRunFlagHandling(t *testing.T) {
+	if err := run(context.Background(), []string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-data-dir", t.TempDir(), "-workers", "1"})
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+}

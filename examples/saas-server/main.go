@@ -85,7 +85,34 @@ change {
 	}
 	fmt.Println("campaign finished:", job.Campaign)
 
-	// 5. Fetch the human-readable report.
+	// 5. Page through the persisted experiment records with the cursor
+	// API (a live campaign can be followed the same way through
+	// /api/v1/campaigns/{id}/stream, one NDJSON record per line).
+	var cursor int64
+	records := 0
+	for {
+		var page struct {
+			Records []json.RawMessage `json:"records"`
+			Next    int64             `json:"next"`
+			Done    bool              `json:"done"`
+		}
+		body, err := getText(fmt.Sprintf("%s/api/v1/campaigns/%s/records?after=%d&limit=8",
+			ts.URL, job.Campaign, cursor))
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal([]byte(body), &page); err != nil {
+			return err
+		}
+		records += len(page.Records)
+		cursor = page.Next
+		if page.Done {
+			break
+		}
+	}
+	fmt.Printf("paged %d experiment records from the result store\n", records)
+
+	// 6. Fetch the human-readable report.
 	text, err := getText(ts.URL + "/api/v1/campaigns/" + job.Campaign + "/text")
 	if err != nil {
 		return err

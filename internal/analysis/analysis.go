@@ -122,100 +122,19 @@ type compiledClass struct {
 	re    *regexp.Regexp
 }
 
-// BuildReport classifies all experiment records and computes the metrics.
+// BuildReport classifies all experiment records and computes the
+// metrics. It is the batch form of Aggregator: one record at a time
+// through the same online accumulator, so the two are equivalent by
+// construction.
 func BuildReport(records []Record, cfg Config) (*Report, error) {
-	classes := make([]compiledClass, 0, len(cfg.Classes))
-	for _, cl := range cfg.Classes {
-		re, err := regexp.Compile(cl.Pattern)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: class %q: %w", cl.Name, err)
-		}
-		classes = append(classes, compiledClass{class: cl, re: re})
-	}
-	errPat := cfg.ErrorPattern
-	if errPat == "" {
-		errPat = "ERROR"
-	}
-	errRE, err := regexp.Compile(errPat)
+	agg, err := NewAggregator(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("analysis: error pattern: %w", err)
+		return nil, err
 	}
-
-	fileToComponent := map[string]string{}
-	for comp, files := range cfg.Components {
-		for _, f := range files {
-			fileToComponent[f] = comp
-		}
-	}
-
-	rep := &Report{
-		Modes:       map[string]int{},
-		ByType:      map[string]*TypeStats{},
-		ByComponent: map[string]*TypeStats{},
-	}
-	available := 0
 	for _, rec := range records {
-		rep.Total++
-		if rec.Covered {
-			rep.Covered++
-		}
-		typeStats := statsFor(rep.ByType, rec.FaultType)
-		comp := fileToComponent[rec.Point.File]
-		if comp == "" {
-			comp = rec.Point.File
-		}
-		compStats := statsFor(rep.ByComponent, comp)
-		typeStats.Total++
-		compStats.Total++
-		if rec.Covered {
-			typeStats.Covered++
-			compStats.Covered++
-		}
-		if rec.Result != nil && !rec.Unavailable() {
-			available++
-		}
-		for _, act := range rec.Injections {
-			if rep.Triggers == nil {
-				rep.Triggers = map[string]*TriggerStats{}
-			}
-			ts, ok := rep.Triggers[act.Fault]
-			if !ok {
-				ts = &TriggerStats{}
-				rep.Triggers[act.Fault] = ts
-			}
-			ts.Experiments++
-			ts.Activations += act.Activations
-			ts.Fires += act.Fires
-		}
-		if !rec.Failed() {
-			continue
-		}
-		rep.Failures++
-		typeStats.Failures++
-		compStats.Failures++
-		if rec.Unavailable() {
-			rep.Unavailable++
-			typeStats.Unavailable++
-			compStats.Unavailable++
-		}
-		for _, mode := range ClassifyRecord(rec, classes) {
-			rep.Modes[mode]++
-		}
-		if failureLogged(rec, errRE) {
-			rep.LoggedFailures++
-		}
-		if propagated(rec, errRE, cfg.Components) {
-			rep.PropagatedFailures++
-		}
+		agg.Add(rec)
 	}
-	if rep.Total > 0 {
-		rep.Availability = float64(available) / float64(rep.Total)
-	}
-	if rep.Failures > 0 {
-		rep.LoggingRate = float64(rep.LoggedFailures) / float64(rep.Failures)
-		rep.PropagationRate = float64(rep.PropagatedFailures) / float64(rep.Failures)
-	}
-	return rep, nil
+	return agg.Report(), nil
 }
 
 func statsFor(m map[string]*TypeStats, key string) *TypeStats {

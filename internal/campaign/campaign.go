@@ -1,8 +1,13 @@
 // Package campaign orchestrates the complete ProFIPy workflow of Fig. 2:
 // Scan (DSL compile + source scan + plan), optional coverage analysis,
 // Execution (per-experiment mutation, container deploy, two workload
-// rounds, teardown — parallelised under the N−1 rule), and Data Analysis
-// (failure modes, availability, logging, propagation).
+// rounds, teardown — scheduled by an internal/executor engine: the
+// local N−1 pool by default, deterministic shards on request), and Data
+// Analysis. Records stream as experiments complete — into the online
+// analysis.Aggregator, an optional caller Sink (result store, live
+// NDJSON) and, unless discarded, the plan-ordered Result.Records slice
+// — so the report exists the moment the last experiment lands and
+// memory need not grow with the experiment count.
 package campaign
 
 import (
@@ -13,6 +18,7 @@ import (
 
 	"profipy/internal/analysis"
 	"profipy/internal/coverage"
+	"profipy/internal/executor"
 	"profipy/internal/faultmodel"
 	"profipy/internal/interp"
 	"profipy/internal/mutator"
@@ -64,6 +70,22 @@ type Campaign struct {
 	// phase transition and once per completed experiment. Experiments run
 	// in parallel, so the callback must be safe for concurrent use.
 	OnProgress func(Progress)
+	// Executor selects the execution engine. Nil picks executor.Local
+	// sized by the runtime's N−1 rule; executor.Sharded partitions the
+	// plan into deterministic shards with per-shard streams. Records
+	// are byte-identical across engines and shard counts, because every
+	// experiment's seed derives from its plan index.
+	Executor executor.Executor
+	// Sink, when set, receives every experiment record as it completes
+	// (streaming consumers: the result store, live NDJSON feeds).
+	// Records arrive from a single goroutine, tagged with their plan
+	// index, in completion order.
+	Sink executor.RecordSink
+	// DiscardRecords drops Result.Records: the report still comes from
+	// the online aggregator and records still stream to Sink, but the
+	// campaign stops materializing the full record slice — memory stays
+	// O(shards) instead of O(experiments).
+	DiscardRecords bool
 }
 
 // Phase names reported through OnProgress, in workflow order.
@@ -91,10 +113,13 @@ func (c *Campaign) progress(phase string, done, total int) {
 
 // Result is the outcome of a campaign run.
 type Result struct {
-	Plan     *plan.Plan
-	Covered  map[string]bool
-	Records  []analysis.Record
-	Report   *analysis.Report
+	Plan    *plan.Plan
+	Covered map[string]bool
+	// Records holds every experiment record in plan order; nil when the
+	// campaign ran with DiscardRecords (streaming consumers read them
+	// from the Sink instead).
+	Records []analysis.Record
+	Report  *analysis.Report
 	ScanTime time.Duration
 	CovTime  time.Duration
 	ExecTime time.Duration
@@ -174,45 +199,77 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
 	}
 
-	// --- Execution phase (parallel containers, N−1 rule) ---
+	// --- Execution phase (streaming pipeline) ---
 	// A faultload can mix both injection kinds: compile-time specs
 	// mutate source (and derive a one-file-recompiled program), runtime
 	// specs attach an injector table to the unchanged base program.
+	// Records no longer accumulate into a slice first: the executor
+	// streams each record once into the online aggregator, the caller's
+	// sink and (unless discarded) the plan-ordered collector.
 	models, rtFaults, err := compileByName(c.Faultload)
 	if err != nil {
 		return nil, err
 	}
+	agg, err := analysis.NewAggregator(c.Analysis)
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
+	exec := c.Executor
+	if exec == nil {
+		img := c.Image
+		img.Files = c.Files
+		exec = executor.Local{Workers: c.Runtime.MaxParallel(img)}
+	}
+	var collect *executor.Collect
+	if !c.DiscardRecords {
+		collect = executor.NewCollect(len(execPoints))
+	}
 	c.progress(PhaseExecute, 0, len(execPoints))
 	execStart := time.Now()
-	var done, mutated, injected atomic.Int64
-	records := sandbox.RunBatch(c.Runtime, c.Image, len(execPoints), func(i int) analysis.Record {
+	var mutated, injected atomic.Int64
+	experiment := func(i int) analysis.Record {
 		if ctx.Err() != nil {
 			return analysis.Record{Point: execPoints[i], FaultType: pl.TypeOf(execPoints[i])}
 		}
-		rec := c.runExperiment(cache, wcfg, execPoints[i], models, rtFaults, pl, covered, int64(i), &mutated, &injected)
-		c.progress(PhaseExecute, int(done.Add(1)), len(execPoints))
-		return rec
-	})
-	res.ExecTime = time.Since(execStart)
-	res.Records = records
-	res.Mutated = int(mutated.Load())
-	res.Injected = int(injected.Load())
-	for _, r := range records {
-		if r.Result == nil {
+		return c.runExperiment(cache, wcfg, execPoints[i], models, rtFaults, pl, covered, int64(i), &mutated, &injected)
+	}
+	done := 0
+	sink := executor.SinkFunc(func(idx int, rec analysis.Record) {
+		agg.Add(rec)
+		if rec.Result == nil {
 			res.Errors++
 		}
+		if collect != nil {
+			collect.Put(idx, rec)
+		}
+		// Stop forwarding to the caller's sink once canceled: the
+		// remaining records are skip stubs, not experiment outcomes, and
+		// must not pollute a durable store.
+		if c.Sink != nil && ctx.Err() == nil {
+			c.Sink.Put(idx, rec)
+		}
+		done++
+		c.progress(PhaseExecute, done, len(execPoints))
+	})
+	if err := exec.Run(ctx, len(execPoints), experiment, sink); err != nil {
+		return nil, fmt.Errorf("campaign %s: execute: %w", c.Name, err)
 	}
+	res.ExecTime = time.Since(execStart)
+	if collect != nil {
+		res.Records = collect.Records()
+	}
+	res.Mutated = int(mutated.Load())
+	res.Injected = int(injected.Load())
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
 	}
 
 	// --- Data analysis phase ---
+	// The report is already aggregated: every record was folded in as
+	// it completed, so finishing the phase is O(1) regardless of the
+	// experiment count (and byte-identical to the batch BuildReport).
 	c.progress(PhaseAnalyze, len(execPoints), len(execPoints))
-	report, err := analysis.BuildReport(records, c.Analysis)
-	if err != nil {
-		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
-	}
-	res.Report = report
+	res.Report = agg.Report()
 	return res, nil
 }
 

@@ -1,0 +1,258 @@
+// Package executor owns the execution phase of a fault injection
+// campaign: given a plan of n experiments, an Executor schedules them,
+// bounds their parallelism and streams every completed record — exactly
+// once, from a single goroutine — into a RecordSink. Splitting this out
+// of the campaign workflow turns "collect a slice, then analyze" into a
+// streaming pipeline: records flow to online aggregation and durable
+// storage as experiments finish, and campaign memory no longer grows
+// with the experiment count.
+//
+// Two engines are provided. Local preserves the paper's single-host
+// N−1 parallel pool (§IV-B). Sharded partitions the plan into
+// deterministic, seed-stable shards — shard membership depends only on
+// the point index, never on timing — and fans them out with per-shard
+// workers, per-shard progress and per-shard record streams merged by a
+// single collector. Because every experiment derives its seed from its
+// plan index, any shard count produces byte-identical records.
+package executor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"profipy/internal/analysis"
+)
+
+// Experiment runs the experiment at plan index idx and returns its
+// record. Implementations must be safe for concurrent calls and honor
+// ctx by returning a stub record (Point and FaultType only) once the
+// context is canceled.
+type Experiment func(idx int) analysis.Record
+
+// RecordSink receives completed experiment records. Executors call Put
+// from a single collector goroutine, so implementations need no
+// internal locking; idx is the experiment's plan index, which is not
+// necessarily the arrival order.
+type RecordSink interface {
+	Put(idx int, rec analysis.Record)
+}
+
+// SinkFunc adapts a function to the RecordSink interface.
+type SinkFunc func(idx int, rec analysis.Record)
+
+// Put calls f.
+func (f SinkFunc) Put(idx int, rec analysis.Record) { f(idx, rec) }
+
+// Multi fans one record stream out to several sinks, in order.
+func Multi(sinks ...RecordSink) RecordSink {
+	return SinkFunc(func(idx int, rec analysis.Record) {
+		for _, s := range sinks {
+			if s != nil {
+				s.Put(idx, rec)
+			}
+		}
+	})
+}
+
+// Collect is a RecordSink that reassembles the stream into plan order,
+// for callers that still need the full record slice (golden tests, the
+// library API's Result.Records).
+type Collect struct {
+	records []analysis.Record
+}
+
+// NewCollect prepares a collector for n experiments.
+func NewCollect(n int) *Collect { return &Collect{records: make([]analysis.Record, n)} }
+
+// Put stores the record at its plan index.
+func (c *Collect) Put(idx int, rec analysis.Record) { c.records[idx] = rec }
+
+// Records returns the collected records in plan order.
+func (c *Collect) Records() []analysis.Record { return c.records }
+
+// Executor runs a plan of experiments and streams the records.
+type Executor interface {
+	// Name labels the engine in benchmarks and logs.
+	Name() string
+	// Run executes experiments [0, n), delivering every record exactly
+	// once to sink (single-goroutine). Cancellation is cooperative: the
+	// Experiment function is expected to observe ctx and return stub
+	// records, so Run always delivers n records.
+	Run(ctx context.Context, n int, exp Experiment, sink RecordSink) error
+}
+
+// indexed pairs a record with its plan index while in flight.
+type indexed struct {
+	idx int
+	rec analysis.Record
+}
+
+// Local executes experiments on one host with a bounded worker pool —
+// the direct extraction of the campaign's original in-process execution
+// loop. The campaign sizes Workers from the sandbox runtime's
+// MaxParallel (N−1 cores, reduced by memory/IO caps).
+type Local struct {
+	// Workers bounds parallel experiments (<1 runs sequentially).
+	Workers int
+}
+
+// Name implements Executor.
+func (l Local) Name() string { return "local" }
+
+// Run implements Executor.
+func (l Local) Run(ctx context.Context, n int, exp Experiment, sink RecordSink) error {
+	if n == 0 {
+		return nil
+	}
+	runPool(0, n, l.Workers, exp, func(r indexed) { sink.Put(r.idx, r.rec) })
+	return nil
+}
+
+// runPool executes experiments [lo, hi) on a bounded worker pool,
+// delivering each record to emit from the calling goroutine — the one
+// pump shared by Local and Sharded's per-shard pools.
+func runPool(lo, hi, workers int, exp Experiment, emit func(indexed)) {
+	n := hi - lo
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := lo; i < hi; i++ {
+			emit(indexed{i, exp(i)})
+		}
+		return
+	}
+	jobs := make(chan int)
+	out := make(chan indexed, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				out <- indexed{i, exp(i)}
+			}
+		}()
+	}
+	go func() {
+		for i := lo; i < hi; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	for received := 0; received < n; received++ {
+		emit(<-out)
+	}
+}
+
+// ShardProgress is a live per-shard counter snapshot.
+type ShardProgress struct {
+	Shard int `json:"shard"`
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Sharded partitions the plan into deterministic contiguous shards and
+// executes them concurrently, each with its own worker pool and its own
+// record stream; a single collector merges the streams into the sink.
+// Shard membership is a pure function of the point index and the shard
+// count — never of timing or seeds — and experiment seeds derive from
+// the plan index, so records are byte-identical to Local's at any shard
+// count.
+type Sharded struct {
+	// Shards is the number of partitions (default 4).
+	Shards int
+	// Workers bounds parallel experiments per shard (default 1), so
+	// total parallelism is Shards×Workers.
+	Workers int
+	// OnShard, when set, observes per-shard progress as experiments
+	// complete. It is called from the collector goroutine.
+	OnShard func(ShardProgress)
+}
+
+// Name implements Executor.
+func (s Sharded) Name() string {
+	return fmt.Sprintf("sharded(%d×%d)", s.shards(), s.workers())
+}
+
+func (s Sharded) shards() int {
+	if s.Shards < 1 {
+		return 4
+	}
+	return s.Shards
+}
+
+func (s Sharded) workers() int {
+	if s.Workers < 1 {
+		return 1
+	}
+	return s.Workers
+}
+
+// Shard returns the half-open index range [lo, hi) of one shard of n
+// experiments: contiguous ranges differing in size by at most one.
+// Exported so stores and progress UIs can label shard boundaries the
+// same way the executor cuts them.
+func Shard(n, shards, i int) (lo, hi int) {
+	lo = i * n / shards
+	hi = (i + 1) * n / shards
+	return lo, hi
+}
+
+// Run implements Executor.
+func (s Sharded) Run(ctx context.Context, n int, exp Experiment, sink RecordSink) error {
+	if n == 0 {
+		return nil
+	}
+	shards := s.shards()
+	if shards > n {
+		shards = n
+	}
+	workers := s.workers()
+
+	// Each shard streams into its own bounded channel (per-shard
+	// backpressure: a stalled collector never lets a shard run more
+	// than its buffer ahead); forwarders tag records with their shard
+	// and merge the streams, so a slow shard never blocks a fast one.
+	// The collector below is the only goroutine touching the sink.
+	type shardRec struct {
+		shard int
+		rec   indexed
+	}
+	merged := make(chan shardRec, shards)
+	var open sync.WaitGroup
+	totals := make([]int, shards)
+	for si := 0; si < shards; si++ {
+		lo, hi := Shard(n, shards, si)
+		totals[si] = hi - lo
+		stream := make(chan indexed, workers)
+		go s.runShard(lo, hi, workers, exp, stream)
+		open.Add(1)
+		go func(si int) {
+			defer open.Done()
+			for r := range stream {
+				merged <- shardRec{si, r}
+			}
+		}(si)
+	}
+	go func() {
+		open.Wait()
+		close(merged)
+	}()
+
+	done := make([]int, shards)
+	for r := range merged {
+		sink.Put(r.rec.idx, r.rec.rec)
+		done[r.shard]++
+		if s.OnShard != nil {
+			s.OnShard(ShardProgress{Shard: r.shard, Done: done[r.shard], Total: totals[r.shard]})
+		}
+	}
+	return nil
+}
+
+// runShard executes one shard's index range with its own worker pool,
+// writing records to the shard stream, and closes the stream when the
+// shard drains.
+func (s Sharded) runShard(lo, hi, workers int, exp Experiment, stream chan<- indexed) {
+	runPool(lo, hi, workers, exp, func(r indexed) { stream <- r })
+	close(stream)
+}

@@ -1,0 +1,181 @@
+package executor
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"profipy/internal/analysis"
+	"profipy/internal/scanner"
+)
+
+// testExp builds a deterministic Experiment whose record content is a
+// pure function of the index, and counts concurrent invocations.
+func testExp(active *atomic.Int64, peak *atomic.Int64) Experiment {
+	return func(idx int) analysis.Record {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+		return analysis.Record{
+			Point:     scanner.InjectionPoint{File: fmt.Sprintf("f%d.py", idx), Line: idx},
+			FaultType: "T",
+		}
+	}
+}
+
+func runAndCollect(t *testing.T, ex Executor, n int, exp Experiment) []analysis.Record {
+	t.Helper()
+	col := NewCollect(n)
+	if err := ex.Run(context.Background(), n, exp, col); err != nil {
+		t.Fatalf("%s: %v", ex.Name(), err)
+	}
+	return col.Records()
+}
+
+func TestExecutorsProduceIdenticalOrderedRecords(t *testing.T) {
+	const n = 37
+	var active, peak atomic.Int64
+	exp := testExp(&active, &peak)
+	want := runAndCollect(t, Local{Workers: 3}, n, exp)
+	for i, rec := range want {
+		if rec.Point.Line != i {
+			t.Fatalf("record %d out of plan order: %+v", i, rec.Point)
+		}
+	}
+	executors := []Executor{
+		Local{},
+		Local{Workers: 16},
+		Sharded{Shards: 1},
+		Sharded{Shards: 2, Workers: 3},
+		Sharded{Shards: 5},
+		Sharded{Shards: 16, Workers: 2},
+		Sharded{Shards: 64}, // more shards than experiments
+	}
+	for _, ex := range executors {
+		got := runAndCollect(t, ex, n, exp)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: records differ from Local baseline", ex.Name())
+		}
+	}
+}
+
+func TestLocalBoundsParallelism(t *testing.T) {
+	var active, peak atomic.Int64
+	runAndCollect(t, Local{Workers: 3}, 24, testExp(&active, &peak))
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak parallelism = %d, want <= 3", p)
+	}
+}
+
+func TestShardedBoundsParallelism(t *testing.T) {
+	var active, peak atomic.Int64
+	runAndCollect(t, Sharded{Shards: 3, Workers: 2}, 24, testExp(&active, &peak))
+	if p := peak.Load(); p > 6 {
+		t.Errorf("peak parallelism = %d, want <= shards*workers = 6", p)
+	}
+}
+
+func TestShardPartitionCoversPlan(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 16, 37} {
+		for shards := 1; shards <= 9; shards++ {
+			next := 0
+			for i := 0; i < shards; i++ {
+				lo, hi := Shard(n, shards, i)
+				if lo != next {
+					t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", n, shards, i, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d shards=%d: shard %d empty-inverted [%d,%d)", n, shards, i, lo, hi)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d shards=%d: partition ends at %d", n, shards, next)
+			}
+		}
+	}
+}
+
+func TestShardedReportsPerShardProgress(t *testing.T) {
+	const n, shards = 20, 4
+	var mu sync.Mutex
+	final := map[int]ShardProgress{}
+	ex := Sharded{Shards: shards, OnShard: func(p ShardProgress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := final[p.Shard]; ok && p.Done != prev.Done+1 {
+			t.Errorf("shard %d progress jumped %d -> %d", p.Shard, prev.Done, p.Done)
+		}
+		final[p.Shard] = p
+	}}
+	var active, peak atomic.Int64
+	runAndCollect(t, ex, n, testExp(&active, &peak))
+	if len(final) != shards {
+		t.Fatalf("progress from %d shards, want %d", len(final), shards)
+	}
+	sum := 0
+	for si, p := range final {
+		lo, hi := Shard(n, shards, si)
+		if p.Done != p.Total || p.Total != hi-lo {
+			t.Errorf("shard %d final progress %+v, want done == total == %d", si, p, hi-lo)
+		}
+		sum += p.Done
+	}
+	if sum != n {
+		t.Errorf("shard progress sums to %d, want %d", sum, n)
+	}
+}
+
+func TestSinkReceivesEveryIndexExactlyOnce(t *testing.T) {
+	const n = 29
+	seen := map[int]int{}
+	sink := SinkFunc(func(idx int, rec analysis.Record) { seen[idx]++ })
+	var active, peak atomic.Int64
+	if err := (Sharded{Shards: 3, Workers: 2}).Run(context.Background(), n, testExp(&active, &peak), sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("sink saw %d distinct indices, want %d", len(seen), n)
+	}
+	for idx, c := range seen {
+		if c != 1 {
+			t.Errorf("index %d delivered %d times", idx, c)
+		}
+	}
+}
+
+func TestMultiFansOutInOrder(t *testing.T) {
+	var order []string
+	a := SinkFunc(func(idx int, rec analysis.Record) { order = append(order, fmt.Sprintf("a%d", idx)) })
+	b := SinkFunc(func(idx int, rec analysis.Record) { order = append(order, fmt.Sprintf("b%d", idx)) })
+	m := Multi(a, nil, b)
+	m.Put(1, analysis.Record{})
+	m.Put(2, analysis.Record{})
+	want := []string{"a1", "b1", "a2", "b2"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("fan-out order = %v, want %v", order, want)
+	}
+}
+
+func TestRunZeroExperiments(t *testing.T) {
+	for _, ex := range []Executor{Local{Workers: 4}, Sharded{Shards: 4}} {
+		called := false
+		err := ex.Run(context.Background(), 0, func(int) analysis.Record {
+			called = true
+			return analysis.Record{}
+		}, SinkFunc(func(int, analysis.Record) { called = true }))
+		if err != nil || called {
+			t.Errorf("%s: n=0 must be a no-op (err=%v called=%v)", ex.Name(), err, called)
+		}
+	}
+}

@@ -1,0 +1,491 @@
+// Package resultstore is the persistence layer of the as-a-service
+// workflow: an append-only store of campaign metadata, experiment
+// record segments and final reports, plus a journal of finished jobs.
+// Records arrive as a stream (one Append per completed experiment) and
+// are written through to JSONL segment files that roll at a fixed
+// record count with an fsync on every roll, so a crash or shutdown
+// mid-campaign loses at most the unsynced tail of one segment — and a
+// graceful shutdown, which closes the writer, loses nothing. Reads are
+// paginated by a monotonic record cursor and can follow a live
+// campaign, which is what the SaaS layer's `?after=<cursor>` record
+// pages and NDJSON streams are built on.
+//
+// With an empty directory path the store runs memory-only: the same
+// segment structure and API, no durability. That keeps every consumer
+// on one code path whether or not profipyd was given a -data-dir.
+//
+// Layout under the data directory:
+//
+//	campaigns/<id>/meta.json            campaign metadata (rewritten at finish)
+//	campaigns/<id>/report.json          final analysis report
+//	campaigns/<id>/records-NNNNNN.jsonl record segments, SegmentRecords lines each
+//	jobs.jsonl                          terminal job snapshots, one JSON per line
+package resultstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Campaign status values stored in Meta.Status.
+const (
+	StatusRunning     = "running"
+	StatusDone        = "done"
+	StatusCanceled    = "canceled"
+	StatusFailed      = "failed"
+	StatusInterrupted = "interrupted" // found still "running" at reopen
+)
+
+// DefaultSegmentRecords is the segment roll threshold.
+const DefaultSegmentRecords = 256
+
+// DefaultRetainCampaigns bounds how many finished campaigns a
+// memory-only store keeps (a memory-only store holds every record line
+// in RAM; disk-backed stores keep O(open segment) per campaign and are
+// never evicted — durability is their point).
+const DefaultRetainCampaigns = 64
+
+// ErrNotFound reports an unknown campaign ID.
+var ErrNotFound = errors.New("resultstore: no such campaign")
+
+// Meta describes one stored campaign.
+type Meta struct {
+	ID      string `json:"id"`
+	Project string `json:"project"`
+	// Name is the display name (the project's human name).
+	Name   string `json:"name,omitempty"`
+	Status string `json:"status"`
+	// Records is the number of records appended so far.
+	Records int64 `json:"records"`
+	// Summary is an opaque blob the API layer attaches at finish time
+	// (the saas CampaignSummary).
+	Summary    json.RawMessage `json:"summary,omitempty"`
+	CreatedMS  int64           `json:"createdMs,omitempty"`
+	FinishedMS int64           `json:"finishedMs,omitempty"`
+}
+
+// Page is one page of a campaign's record stream.
+type Page struct {
+	// Records are verbatim stored JSON lines, in append order.
+	Records []json.RawMessage `json:"records"`
+	// Next is the cursor to pass as `after` for the following page:
+	// the count of records consumed so far.
+	Next int64 `json:"next"`
+	// Total is the number of records stored at read time.
+	Total int64 `json:"total"`
+	// Done reports that the campaign is finished AND this page reached
+	// the end of its records.
+	Done bool `json:"done"`
+}
+
+// segment is one JSONL record segment. Closed segments of a disk-backed
+// store hold no lines in memory (they are re-read on demand); the open
+// segment keeps its lines for live reads, bounded by the roll
+// threshold. Memory-only stores keep all lines.
+type segment struct {
+	name  string // file name, "" in memory-only mode
+	start int64  // global index of its first record
+	count int
+	lines [][]byte
+}
+
+// campaign is the in-store state of one campaign.
+type campaign struct {
+	mu    sync.Mutex
+	meta  Meta
+	dir   string // campaign directory, "" in memory-only mode
+	segs  []*segment
+	open  *segment
+	file  *os.File // open segment file (disk mode, while writing)
+	seq   int64    // records appended
+	live  bool     // a Writer is attached
+	watch chan struct{}
+	// report caches the final report bytes once loaded or finished.
+	report []byte
+	werr   error // first write error, surfaced at Finish
+}
+
+// Store is the campaign result store. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir string // "" = memory-only
+
+	// SegmentRecords overrides the roll threshold (tests).
+	segmentRecords int
+	// retainCampaigns bounds finished campaigns in memory-only mode.
+	retainCampaigns int
+
+	mu    sync.Mutex
+	camps map[string]*campaign
+	order []string
+
+	jobsMu   sync.Mutex
+	jobsFile *os.File
+	jobs     []json.RawMessage
+}
+
+// Open opens (or initializes) a store rooted at dir; an empty dir gives
+// a memory-only store. Existing campaign metadata, segment extents and
+// the job journal are loaded; campaigns left "running" by a crash are
+// surfaced as StatusInterrupted.
+func Open(dir string) (*Store, error) {
+	s := &Store{
+		dir:             dir,
+		segmentRecords:  DefaultSegmentRecords,
+		retainCampaigns: DefaultRetainCampaigns,
+		camps:           map[string]*campaign{},
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "campaigns"), 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	if err := s.loadCampaigns(); err != nil {
+		return nil, err
+	}
+	if err := s.loadJobs(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SetSegmentRecords adjusts the segment roll threshold for subsequently
+// started campaigns (mainly for tests; call before StartCampaign).
+func (s *Store) SetSegmentRecords(n int) {
+	if n > 0 {
+		s.segmentRecords = n
+	}
+}
+
+// SetRetainCampaigns adjusts how many finished campaigns a memory-only
+// store keeps before evicting the oldest (no effect on disk-backed
+// stores).
+func (s *Store) SetRetainCampaigns(n int) {
+	if n > 0 {
+		s.retainCampaigns = n
+	}
+}
+
+// Dir reports the backing directory ("" when memory-only).
+func (s *Store) Dir() string { return s.dir }
+
+// evictMemory drops the oldest finished campaigns beyond the retention
+// limit in memory-only mode, where every record line lives in RAM.
+// Live campaigns are never evicted; disk-backed stores are untouched.
+func (s *Store) evictMemory() {
+	if s.dir != "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	excess := len(s.order) - s.retainCampaigns
+	if excess <= 0 {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		c := s.camps[id]
+		c.mu.Lock()
+		live := c.live
+		c.mu.Unlock()
+		if excess > 0 && !live {
+			delete(s.camps, id)
+			excess--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+func (s *Store) loadCampaigns() error {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "campaigns"))
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		cdir := filepath.Join(s.dir, "campaigns", e.Name())
+		metaData, err := os.ReadFile(filepath.Join(cdir, "meta.json"))
+		if err != nil {
+			continue // half-created campaign directory; skip
+		}
+		var meta Meta
+		if err := json.Unmarshal(metaData, &meta); err != nil || meta.ID == "" {
+			continue
+		}
+		if meta.Status == StatusRunning {
+			meta.Status = StatusInterrupted
+		}
+		c := &campaign{meta: meta, dir: cdir}
+		if err := c.loadSegments(); err != nil {
+			return err
+		}
+		c.meta.Records = c.seq
+		s.camps[meta.ID] = c
+		s.order = append(s.order, meta.ID)
+	}
+	sort.Strings(s.order)
+	return nil
+}
+
+// loadSegments scans the campaign directory's record segments, counting
+// complete lines (a torn trailing write is ignored) and recording each
+// segment's extent; line data is not retained.
+func (c *campaign) loadSegments() error {
+	names, err := filepath.Glob(filepath.Join(c.dir, "records-*.jsonl"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	var start int64
+	for _, path := range names {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("resultstore: %w", err)
+		}
+		count := len(completeLines(data))
+		c.segs = append(c.segs, &segment{name: filepath.Base(path), start: start, count: count})
+		start += int64(count)
+	}
+	c.seq = start
+	return nil
+}
+
+// completeLines splits JSONL data into its newline-terminated lines,
+// dropping a torn trailing fragment.
+func completeLines(data []byte) [][]byte {
+	var lines [][]byte
+	for {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			return lines
+		}
+		lines = append(lines, data[:i])
+		data = data[i+1:]
+	}
+}
+
+func (s *Store) loadJobs() error {
+	path := filepath.Join(s.dir, "jobs.jsonl")
+	if data, err := os.ReadFile(path); err == nil {
+		for _, line := range completeLines(data) {
+			if json.Valid(line) {
+				s.jobs = append(s.jobs, json.RawMessage(append([]byte(nil), line...)))
+			}
+		}
+		if len(s.jobs) > maxJobsInMemory {
+			s.jobs = append([]json.RawMessage(nil), s.jobs[len(s.jobs)-maxJobsInMemory:]...)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.jobsFile = f
+	return nil
+}
+
+// maxJobsInMemory bounds the in-RAM copy of the job journal: the file
+// keeps full history, but Jobs() only ever needs recent snapshots (the
+// API layer caps its restore at the scheduler's retention anyway), so
+// a long-running daemon must not grow this slice forever.
+const maxJobsInMemory = 1024
+
+// AppendJob journals one terminal job snapshot.
+func (s *Store) AppendJob(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.jobs = append(s.jobs, json.RawMessage(line))
+	if len(s.jobs) > maxJobsInMemory {
+		s.jobs = append([]json.RawMessage(nil), s.jobs[len(s.jobs)-maxJobsInMemory:]...)
+	}
+	if s.jobsFile != nil {
+		if _, err := s.jobsFile.Write(append(line, '\n')); err != nil {
+			return fmt.Errorf("resultstore: jobs journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Jobs returns every journaled job snapshot in append order.
+func (s *Store) Jobs() []json.RawMessage {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return append([]json.RawMessage(nil), s.jobs...)
+}
+
+// List returns the metadata of every stored campaign, sorted by ID.
+func (s *Store) List() []Meta {
+	s.mu.Lock()
+	camps := make([]*campaign, 0, len(s.order))
+	for _, id := range s.order {
+		camps = append(camps, s.camps[id])
+	}
+	s.mu.Unlock()
+	out := make([]Meta, len(camps))
+	for i, c := range camps {
+		c.mu.Lock()
+		out[i] = c.meta
+		out[i].Records = c.seq
+		c.mu.Unlock()
+	}
+	return out
+}
+
+// Get returns one campaign's metadata.
+func (s *Store) Get(id string) (Meta, bool) {
+	c, ok := s.camp(id)
+	if !ok {
+		return Meta{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.meta
+	m.Records = c.seq
+	return m, true
+}
+
+func (s *Store) camp(id string) (*campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.camps[id]
+	return c, ok
+}
+
+// Report returns a campaign's final report JSON, or ErrNotFound /
+// an error when the campaign has no report (yet).
+func (s *Store) Report(id string) (json.RawMessage, error) {
+	c, ok := s.camp(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.report != nil {
+		return c.report, nil
+	}
+	if c.dir == "" {
+		return nil, fmt.Errorf("resultstore: campaign %s has no report", id)
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, "report.json"))
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: campaign %s has no report: %w", id, err)
+	}
+	c.report = data
+	return data, nil
+}
+
+// Records returns one page of a campaign's record stream: up to limit
+// records after the cursor (after = records already consumed; 0 starts
+// at the beginning). limit <= 0 selects a default of 100.
+func (s *Store) Records(id string, after int64, limit int) (Page, error) {
+	c, ok := s.camp(id)
+	if !ok {
+		return Page{}, ErrNotFound
+	}
+	if limit <= 0 {
+		limit = 100
+	}
+	if after < 0 {
+		after = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	page := Page{Next: after, Total: c.seq}
+	idx := after
+	for idx < c.seq && len(page.Records) < limit {
+		seg := c.segmentAt(idx)
+		if seg == nil {
+			break
+		}
+		lines, err := c.segmentLines(seg)
+		if err != nil {
+			return Page{}, err
+		}
+		for _, line := range lines[idx-seg.start:] {
+			if len(page.Records) >= limit {
+				break
+			}
+			page.Records = append(page.Records, json.RawMessage(line))
+			idx++
+		}
+	}
+	page.Next = idx
+	page.Done = !c.live && idx >= c.seq
+	return page, nil
+}
+
+// segmentAt finds the segment containing global record index idx;
+// callers hold c.mu.
+func (c *campaign) segmentAt(idx int64) *segment {
+	if c.open != nil && idx >= c.open.start {
+		return c.open
+	}
+	i := sort.Search(len(c.segs), func(i int) bool {
+		return c.segs[i].start+int64(c.segs[i].count) > idx
+	})
+	if i == len(c.segs) {
+		return nil
+	}
+	return c.segs[i]
+}
+
+// segmentLines returns a segment's record lines, reading the file for
+// closed disk-backed segments; callers hold c.mu.
+func (c *campaign) segmentLines(seg *segment) ([][]byte, error) {
+	if seg.lines != nil || seg.count == 0 {
+		return seg.lines, nil
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, seg.name))
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	lines := completeLines(data)
+	if len(lines) > seg.count {
+		lines = lines[:seg.count]
+	}
+	return lines, nil
+}
+
+// watchChan returns the channel closed on the campaign's next append or
+// finish; callers hold c.mu.
+func (c *campaign) watchChan() chan struct{} {
+	if c.watch == nil {
+		c.watch = make(chan struct{})
+	}
+	return c.watch
+}
+
+// notifyLocked wakes all followers; callers hold c.mu.
+func (c *campaign) notifyLocked() {
+	if c.watch != nil {
+		close(c.watch)
+		c.watch = nil
+	}
+}
+
+func segName(i int) string { return fmt.Sprintf("records-%06d.jsonl", i) }
+
+// sanitizeID rejects campaign IDs that would escape the campaigns/
+// directory.
+func sanitizeID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return fmt.Errorf("resultstore: invalid campaign id %q", id)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestDuplicateStartDoesNotClobberStoredMeta guards the reserve-first
+// ordering: a rejected duplicate StartCampaign must leave the existing
+// campaign's persisted metadata untouched.
+func TestDuplicateStartDoesNotClobberStoredMeta(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.StartCampaign(Meta{ID: "camp-1", Project: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 4)
+	if err := w.Finish(StatusDone, map[string]int{"points": 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StartCampaign(Meta{ID: "camp-1", Project: "intruder"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	s.Close()
+
+	// The original metadata survives on disk.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, ok := s2.Get("camp-1")
+	if !ok || meta.Status != StatusDone || meta.Records != 4 || meta.Project != "p" {
+		t.Fatalf("meta clobbered by rejected duplicate: %+v", meta)
+	}
+	var summary map[string]int
+	if err := json.Unmarshal(meta.Summary, &summary); err != nil || summary["points"] != 4 {
+		t.Fatalf("summary clobbered: %s", meta.Summary)
+	}
+}
+
+// TestMemoryModeEvictsOldFinishedCampaigns bounds the memory-only
+// store: record lines of evicted campaigns are released, live campaigns
+// are never evicted, and disk-backed stores do not evict at all.
+func TestMemoryModeEvictsOldFinishedCampaigns(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRetainCampaigns(2)
+	for i := 1; i <= 3; i++ {
+		w, err := s.StartCampaign(Meta{ID: metaID(i), Project: "p"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, w, 3)
+		if err := w.Finish(StatusDone, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A 4th start evicts down to the retention bound.
+	wLive, err := s.StartCampaign(Meta{ID: metaID(4), Project: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.List()); got > 3 {
+		t.Errorf("memory store retains %d campaigns, want <= retain+live = 3", got)
+	}
+	if _, ok := s.Get(metaID(1)); ok {
+		t.Error("oldest finished campaign not evicted")
+	}
+	if _, ok := s.Get(metaID(4)); !ok {
+		t.Error("live campaign evicted")
+	}
+	wLive.Abort(StatusCanceled)
+
+	// Disk-backed stores never evict.
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetRetainCampaigns(1)
+	for i := 1; i <= 3; i++ {
+		w, err := d.StartCampaign(Meta{ID: metaID(i), Project: "p"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Finish(StatusDone, nil, nil)
+	}
+	if got := len(d.List()); got != 3 {
+		t.Errorf("disk store evicted campaigns: %d of 3 left", got)
+	}
+}
+
+func metaID(i int) string {
+	return "camp-" + string(rune('0'+i))
+}

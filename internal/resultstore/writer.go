@@ -1,0 +1,329 @@
+package resultstore
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"profipy/internal/analysis"
+)
+
+// Writer appends one campaign's record stream to the store. Append is
+// safe to call from the campaign's single emit goroutine; Finish (or
+// Abort) must be called exactly once when the campaign ends.
+type Writer struct {
+	s *Store
+	c *campaign
+}
+
+// StartCampaign registers a campaign and returns its record writer. The
+// metadata is persisted immediately with StatusRunning, so a live
+// campaign is visible to readers (and to a post-crash reopen) from its
+// first record on. The ID is reserved under the store lock before any
+// filesystem write, so a duplicate can never clobber an existing
+// campaign's persisted metadata.
+func (s *Store) StartCampaign(meta Meta) (*Writer, error) {
+	if err := sanitizeID(meta.ID); err != nil {
+		return nil, err
+	}
+	meta.Status = StatusRunning
+	if meta.CreatedMS == 0 {
+		meta.CreatedMS = time.Now().UnixMilli()
+	}
+	c := &campaign{meta: meta, live: true}
+	s.mu.Lock()
+	if _, exists := s.camps[meta.ID]; exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("resultstore: campaign %s already stored", meta.ID)
+	}
+	s.camps[meta.ID] = c
+	s.order = append(s.order, meta.ID)
+	s.mu.Unlock()
+	if s.dir != "" {
+		c.dir = filepath.Join(s.dir, "campaigns", meta.ID)
+		err := os.MkdirAll(c.dir, 0o755)
+		if err == nil {
+			err = writeFileSync(filepath.Join(c.dir, "meta.json"), mustJSON(meta))
+		}
+		if err != nil {
+			s.mu.Lock()
+			delete(s.camps, meta.ID)
+			for i, id := range s.order {
+				if id == meta.ID {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+	}
+	s.evictMemory()
+	return &Writer{s: s, c: c}, nil
+}
+
+// Append streams one completed experiment record into the campaign's
+// current segment. The line reaches the OS immediately (live readers
+// and a graceful shutdown see it); fsync happens on segment roll and at
+// Finish. The first write error is retained and returned by Finish.
+func (w *Writer) Append(rec analysis.Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return w.fail(err)
+	}
+	c := w.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.open == nil {
+		if err := w.openSegmentLocked(); err != nil {
+			return w.failLocked(err)
+		}
+	}
+	if c.file != nil {
+		if _, err := c.file.Write(append(line, '\n')); err != nil {
+			return w.failLocked(fmt.Errorf("resultstore: append: %w", err))
+		}
+	}
+	c.open.lines = append(c.open.lines, line)
+	c.open.count++
+	c.seq++
+	c.meta.Records = c.seq
+	c.notifyLocked()
+	if c.open.count >= w.s.segmentRecords {
+		if err := w.rollLocked(); err != nil {
+			return w.failLocked(err)
+		}
+	}
+	return nil
+}
+
+// openSegmentLocked starts the next segment; callers hold c.mu.
+func (w *Writer) openSegmentLocked() error {
+	c := w.c
+	seg := &segment{start: c.seq, lines: [][]byte{}}
+	if c.dir != "" {
+		seg.name = segName(len(c.segs) + 1)
+		f, err := os.OpenFile(filepath.Join(c.dir, seg.name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("resultstore: segment: %w", err)
+		}
+		c.file = f
+	}
+	c.open = seg
+	return nil
+}
+
+// rollLocked closes the open segment with an fsync — the durability
+// point of the stream — and forgets its line cache in disk mode;
+// callers hold c.mu.
+func (w *Writer) rollLocked() error {
+	c := w.c
+	if c.open == nil {
+		return nil
+	}
+	if c.file != nil {
+		if err := c.file.Sync(); err != nil {
+			return fmt.Errorf("resultstore: sync segment: %w", err)
+		}
+		if err := c.file.Close(); err != nil {
+			return fmt.Errorf("resultstore: close segment: %w", err)
+		}
+		c.file = nil
+		c.open.lines = nil // closed segments are re-read from disk
+	}
+	c.segs = append(c.segs, c.open)
+	c.open = nil
+	return nil
+}
+
+func (w *Writer) fail(err error) error {
+	w.c.mu.Lock()
+	defer w.c.mu.Unlock()
+	return w.failLocked(err)
+}
+
+func (w *Writer) failLocked(err error) error {
+	if w.c.werr == nil {
+		w.c.werr = err
+	}
+	return err
+}
+
+// Seq reports how many records have been appended.
+func (w *Writer) Seq() int64 {
+	w.c.mu.Lock()
+	defer w.c.mu.Unlock()
+	return w.c.seq
+}
+
+// Finish seals the campaign: rolls the open segment (fsync), stores the
+// final report and summary, rewrites the metadata with the terminal
+// status, and wakes followers so live streams can end. It returns the
+// first error the stream hit, if any.
+func (w *Writer) Finish(status string, summary any, report *analysis.Report) error {
+	c := w.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.live {
+		return fmt.Errorf("resultstore: campaign %s already finished", c.meta.ID)
+	}
+	if err := w.rollLocked(); err != nil {
+		w.failLocked(err)
+	}
+	c.live = false
+	c.meta.Status = status
+	c.meta.FinishedMS = time.Now().UnixMilli()
+	c.meta.Records = c.seq
+	if summary != nil {
+		if data, err := json.Marshal(summary); err == nil {
+			c.meta.Summary = data
+		}
+	}
+	if report != nil {
+		c.report = mustJSON(report)
+	}
+	if c.dir != "" {
+		if c.report != nil {
+			if err := writeFileSync(filepath.Join(c.dir, "report.json"), c.report); err != nil {
+				w.failLocked(err)
+			}
+		}
+		if err := writeFileSync(filepath.Join(c.dir, "meta.json"), mustJSON(c.meta)); err != nil {
+			w.failLocked(err)
+		}
+	}
+	c.notifyLocked()
+	return c.werr
+}
+
+// Abort seals a campaign that did not complete (canceled, failed,
+// shutdown): everything appended so far stays readable, no report is
+// stored. Safe to call after Finish (no-op).
+func (w *Writer) Abort(status string) error {
+	w.c.mu.Lock()
+	live := w.c.live
+	w.c.mu.Unlock()
+	if !live {
+		return nil
+	}
+	return w.Finish(status, nil, nil)
+}
+
+// Close flushes and seals every still-live campaign (as
+// StatusInterrupted) and closes the job journal. Called on daemon
+// shutdown after the scheduler has drained.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	camps := make([]*campaign, 0, len(s.camps))
+	for _, c := range s.camps {
+		camps = append(camps, c)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, c := range camps {
+		c.mu.Lock()
+		live := c.live
+		c.mu.Unlock()
+		if live {
+			w := &Writer{s: s, c: c}
+			if err := w.Abort(StatusInterrupted); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	s.jobsMu.Lock()
+	if s.jobsFile != nil {
+		if err := s.jobsFile.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.jobsFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.jobsFile = nil
+	}
+	s.jobsMu.Unlock()
+	return first
+}
+
+// Follow streams a campaign's records through fn, starting after the
+// cursor, until the campaign finishes and every record has been
+// delivered (returns nil), fn returns an error (returned verbatim), or
+// ctx is canceled. For an already-finished campaign it replays the
+// stored records and returns.
+func (s *Store) Follow(ctx context.Context, id string, after int64, fn func(seq int64, line json.RawMessage) error) error {
+	c, ok := s.camp(id)
+	if !ok {
+		return ErrNotFound
+	}
+	cursor := after
+	if cursor < 0 {
+		cursor = 0
+	}
+	for {
+		page, err := s.Records(id, cursor, 1000)
+		if err != nil {
+			return err
+		}
+		for i, line := range page.Records {
+			if err := fn(cursor+int64(i)+1, line); err != nil {
+				return err
+			}
+		}
+		cursor = page.Next
+		if page.Done {
+			return nil
+		}
+		if len(page.Records) > 0 {
+			continue // drain before sleeping
+		}
+		c.mu.Lock()
+		if c.seq > cursor || !c.live {
+			c.mu.Unlock()
+			continue
+		}
+		watch := c.watchChan()
+		c.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-watch:
+		}
+	}
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // Meta/Report marshaling cannot fail
+	}
+	return data
+}
+
+// writeFileSync writes data to path durably: temp file in the same
+// directory, fsync, atomic rename.
+func writeFileSync(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	return nil
+}

@@ -22,7 +22,10 @@ import (
 
 func newAsyncTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := NewServerWithOptions(opt)
+	srv, err := NewServerWithOptions(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(srv.Close)

@@ -8,23 +8,35 @@ package saas
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"unicode/utf8"
 
 	"profipy/internal/analysis"
 	"profipy/internal/campaign"
+	"profipy/internal/executor"
 	"profipy/internal/faultmodel"
 	"profipy/internal/interp"
 	"profipy/internal/kvclient"
+	"profipy/internal/resultstore"
 	"profipy/internal/sandbox"
 	"profipy/internal/scanner"
 	"profipy/internal/scheduler"
 	"profipy/internal/workload"
 )
+
+// maxRequestBytes caps request bodies accepted by the JSON endpoints.
+const maxRequestBytes = 16 << 20
+
+// maxTextReportBytes caps the plain-text report response; longer
+// reports are truncated rune-safely.
+const maxTextReportBytes = 1 << 20
 
 // Project is an uploaded target: named source files plus the workload
 // entry configuration.
@@ -54,6 +66,12 @@ type CampaignRequest struct {
 	SampleN    int   `json:"sampleN,omitempty"`
 	ReducePlan bool  `json:"reducePlan,omitempty"`
 	Seed       int64 `json:"seed,omitempty"`
+	// Shards switches the campaign to the sharded executor: the plan is
+	// partitioned into this many deterministic shards, ShardWorkers
+	// experiments running in parallel per shard (default 1). Zero keeps
+	// the single-host N−1 pool. Records are byte-identical either way.
+	Shards       int `json:"shards,omitempty"`
+	ShardWorkers int `json:"shardWorkers,omitempty"`
 	// Classes are user-defined failure modes.
 	Classes []analysis.FailureClass `json:"classes,omitempty"`
 }
@@ -98,7 +116,7 @@ type JobStatus struct {
 // Server is the SaaS API server state. The mutex guards the project,
 // model, and campaign maps only — it is never held across a campaign
 // run or any other long operation; campaign execution is owned by the
-// scheduler.
+// scheduler and record persistence by the result store.
 type Server struct {
 	mu        sync.RWMutex
 	projects  map[string]*Project
@@ -107,6 +125,7 @@ type Server struct {
 	nextID    int
 	cores     int
 	sched     *scheduler.Scheduler
+	store     *resultstore.Store
 	// testProgressHook, when set (tests only, before serving), observes
 	// every campaign progress update after it reaches the scheduler; a
 	// blocking hook stalls the campaign, which tests use to inspect
@@ -126,43 +145,146 @@ type Options struct {
 	QueueDepth int
 	// RetainJobs bounds finished jobs kept for polling (default 256).
 	RetainJobs int
+	// DataDir roots the persistent result store: campaign metadata,
+	// record segments, reports and the job journal survive restarts
+	// there. Empty keeps the store memory-only (records and streams
+	// still work, nothing persists).
+	DataDir string
 }
 
 // NewServer creates a SaaS server simulating a host with the given number
 // of cores (experiments run N−1 in parallel) and default scheduler sizing.
 func NewServer(cores int) *Server {
-	return NewServerWithOptions(Options{Cores: cores})
+	s, err := NewServerWithOptions(Options{Cores: cores})
+	if err != nil {
+		// Unreachable: without a DataDir the store is memory-only and
+		// construction cannot fail.
+		panic(err)
+	}
+	return s
 }
 
 // NewServerWithOptions creates a SaaS server with explicit scheduler
-// sizing. Call Close to stop the worker pool.
-func NewServerWithOptions(opt Options) *Server {
+// sizing and an optional persistent data directory, reloading any
+// campaigns and job history a previous process stored there. Call Close
+// to stop the worker pool and seal the store.
+func NewServerWithOptions(opt Options) (*Server, error) {
 	if opt.Cores <= 0 {
 		opt.Cores = 4
+	}
+	store, err := resultstore.Open(opt.DataDir)
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{
 		projects:  make(map[string]*Project),
 		models:    faultmodel.NewRegistry(),
 		campaigns: make(map[string]*campaignRun),
 		cores:     opt.Cores,
-		sched: scheduler.New(scheduler.Config{
-			Workers:    opt.Workers,
-			QueueDepth: opt.QueueDepth,
-			Retain:     opt.RetainJobs,
-		}),
+		store:     store,
 	}
+	s.sched = scheduler.New(scheduler.Config{
+		Workers:    opt.Workers,
+		QueueDepth: opt.QueueDepth,
+		Retain:     opt.RetainJobs,
+		// Journal every terminal job so /api/v1/jobs history survives
+		// restarts alongside the campaigns.
+		OnFinish: func(st scheduler.Status) { _ = s.store.AppendJob(jobView(st)) },
+	})
 	// Preload the paper's case study as a demo project.
 	demo := &Project{ID: "demo-python-etcd", Name: "python-etcd", Files: map[string]string{}}
 	for name, data := range kvclient.Sources() {
 		demo.Files[name] = string(data)
 	}
 	s.projects[demo.ID] = demo
-	return s
+	retain := opt.RetainJobs
+	if retain <= 0 {
+		retain = 256
+	}
+	s.restore(retain)
+	return s, nil
 }
 
-// Close stops the campaign scheduler: running campaigns are canceled,
-// queued ones finish as canceled, and the worker pool drains.
-func (s *Server) Close() { s.sched.Close() }
+// restore reloads completed campaigns and terminal job history from the
+// result store into the serving maps, so a restarted profipyd answers
+// for work a previous process finished without re-running anything.
+func (s *Server) restore(retainJobs int) {
+	// Campaign IDs derive from job numbers, so the job counter must
+	// clear every stored campaign — including ones whose job never made
+	// the journal because the process crashed mid-run.
+	maxCamp := 0
+	for _, meta := range s.store.List() {
+		var n int
+		if _, err := fmt.Sscanf(meta.ID, "camp-%d", &n); err == nil && n > maxCamp {
+			maxCamp = n
+		}
+		if meta.Status != resultstore.StatusDone {
+			continue // interrupted/canceled campaigns stay record-only
+		}
+		repData, err := s.store.Report(meta.ID)
+		if err != nil {
+			continue
+		}
+		var rep analysis.Report
+		if err := json.Unmarshal(repData, &rep); err != nil {
+			continue
+		}
+		summary := CampaignSummary{ID: meta.ID, Project: meta.Project}
+		if meta.Summary != nil {
+			_ = json.Unmarshal(meta.Summary, &summary)
+		}
+		s.campaigns[meta.ID] = &campaignRun{
+			summary: summary,
+			report:  &rep,
+			text:    rep.Render("campaign " + meta.ID + " (" + meta.Name + ")"),
+		}
+	}
+	// Reload terminal job snapshots: the journal is append-only, so
+	// dedupe by ID (the newest snapshot wins) and keep only the most
+	// recent retainJobs — matching the scheduler's in-memory retention
+	// rather than the journal's lifetime length.
+	latest := map[string]scheduler.Status{}
+	var order []string
+	for _, raw := range s.store.Jobs() {
+		var v JobStatus
+		if err := json.Unmarshal(raw, &v); err != nil || v.ID == "" {
+			continue
+		}
+		st := scheduler.Status{
+			ID: v.ID, Name: v.Project, State: v.State, Progress: v.Progress,
+			PhaseMillis: v.PhaseMillis, Error: v.Error,
+			EnqueuedMS: v.EnqueuedMS, StartedMS: v.StartedMS, FinishedMS: v.FinishedMS,
+		}
+		if v.Campaign != "" {
+			st.Result = v.Campaign
+		}
+		if _, seen := latest[v.ID]; !seen {
+			order = append(order, v.ID)
+		}
+		latest[v.ID] = st
+	}
+	if len(order) > retainJobs {
+		order = order[len(order)-retainJobs:]
+	}
+	sts := make([]scheduler.Status, 0, len(order))
+	for _, id := range order {
+		sts = append(sts, latest[id])
+	}
+	s.sched.Restore(sts)
+	s.sched.AdvanceIDs(maxCamp)
+}
+
+// Close stops the campaign scheduler — running campaigns are canceled,
+// queued ones finish as canceled, the worker pool drains — then seals
+// the result store so every streamed record is flushed to disk.
+func (s *Server) Close() {
+	s.sched.Close()
+	_ = s.store.Close()
+}
+
+// Store exposes the campaign result store (read side: pagination and
+// live follows). Never nil.
+func (s *Server) Store() *resultstore.Store { return s.store }
 
 // Handler returns the HTTP handler exposing the API.
 func (s *Server) Handler() http.Handler {
@@ -176,6 +298,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns", s.handleListCampaigns)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleGetCampaign)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/text", s.handleGetCampaignText)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/records", s.handleGetCampaignRecords)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/stream", s.handleStreamCampaign)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancelJob)
@@ -183,6 +307,7 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleCreateProject(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var p Project
 	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
 		httpError(w, http.StatusBadRequest, "bad project json: %v", err)
@@ -217,6 +342,7 @@ func (s *Server) handleListProjects(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var m faultmodel.Model
 	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
 		httpError(w, http.StatusBadRequest, "bad model json: %v", err)
@@ -316,26 +442,44 @@ func (s *Server) buildCampaign(req CampaignRequest) (*campaign.Campaign, string,
 		SampleN:    req.SampleN,
 		ReducePlan: req.ReducePlan,
 		Analysis:   analysis.Config{Classes: req.Classes, Components: map[string][]string{}},
+		// The service reads reports from the online aggregator and
+		// records from the result store: no reason to materialize the
+		// full record slice per campaign.
+		DiscardRecords: true,
+	}
+	if req.Shards > 0 {
+		c.Executor = executor.Sharded{Shards: req.Shards, Workers: req.ShardWorkers}
 	}
 	return c, proj.Name, 0, ""
 }
 
-// storeCampaign files a finished run under a fresh campaign ID.
-func (s *Server) storeCampaign(project, projName string, res *campaign.Result) string {
+// campaignIDFor derives the campaign ID from its job ID ("job-7" →
+// "camp-7"): deterministic before the job runs, so live record streams
+// are addressable while the campaign is still executing, and collision
+// free across restarts because restored job history advances the
+// scheduler's ID counter.
+func campaignIDFor(jobID string) string {
+	return "camp-" + strings.TrimPrefix(jobID, "job-")
+}
+
+// summaryFor builds the list-view summary of a finished run.
+func summaryFor(id, project string, res *campaign.Result) CampaignSummary {
+	return CampaignSummary{
+		ID: id, Project: project,
+		Points: res.Report.Total, Covered: res.Report.Covered, Failures: res.Report.Failures,
+		Mutated: res.Mutated, Injected: res.Injected,
+	}
+}
+
+// storeCampaign files a finished run under its campaign ID.
+func (s *Server) storeCampaign(id, project, projName string, res *campaign.Result) {
 	s.mu.Lock()
-	s.nextID++
-	id := "camp-" + strconv.Itoa(s.nextID)
 	s.campaigns[id] = &campaignRun{
-		summary: CampaignSummary{
-			ID: id, Project: project,
-			Points: res.Report.Total, Covered: res.Report.Covered, Failures: res.Report.Failures,
-			Mutated: res.Mutated, Injected: res.Injected,
-		},
-		report: res.Report,
-		text:   res.Report.Render("campaign " + id + " (" + projName + ")"),
+		summary: summaryFor(id, project, res),
+		report:  res.Report,
+		text:    res.Report.Render("campaign " + id + " (" + projName + ")"),
 	}
 	s.mu.Unlock()
-	return id
 }
 
 // handleRunCampaign validates the request synchronously, enqueues the
@@ -343,6 +487,7 @@ func (s *Server) storeCampaign(project, projName string, res *campaign.Result) s
 // ?wait=true it blocks until the job finishes and answers like the old
 // synchronous API (201 + report).
 func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req CampaignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad campaign json: %v", err)
@@ -354,24 +499,64 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The campaign ID derives from the job ID, which Submit allocates
+	// after the task closure exists; the buffered channel hands it in.
+	jobIDCh := make(chan string, 1)
 	task := func(ctx context.Context, report func(scheduler.Progress)) (any, error) {
+		campID := campaignIDFor(<-jobIDCh)
 		c.OnProgress = func(p campaign.Progress) {
 			report(scheduler.Progress{Phase: p.Phase, Done: p.Done, Total: p.Total})
 			if s.testProgressHook != nil {
 				s.testProgressHook(p)
 			}
 		}
+		// Stream every record into the store as it completes: live
+		// NDJSON followers and record pages see the campaign grow, and
+		// a shutdown mid-campaign loses nothing that reached the sink.
+		writer, werr := s.store.StartCampaign(resultstore.Meta{
+			ID: campID, Project: req.Project, Name: projName,
+		})
+		if werr != nil {
+			// The campaign still runs and reports from memory, but its
+			// records endpoints will 404 — say so where an operator
+			// can see it.
+			log.Printf("saas: campaign %s: record persistence unavailable: %v", campID, werr)
+		} else {
+			c.Sink = executor.SinkFunc(func(idx int, rec analysis.Record) {
+				_ = writer.Append(rec)
+			})
+		}
 		res, err := c.RunContext(ctx)
 		if err != nil {
+			if writer != nil {
+				status := resultstore.StatusFailed
+				if errors.Is(err, context.Canceled) {
+					status = resultstore.StatusCanceled
+				}
+				if aerr := writer.Abort(status); aerr != nil {
+					log.Printf("saas: campaign %s: record persistence: %v", campID, aerr)
+				}
+			}
 			return nil, err
 		}
-		return s.storeCampaign(req.Project, projName, res), nil
+		s.storeCampaign(campID, req.Project, projName, res)
+		if writer != nil {
+			// Finish surfaces the stream's first write error: the report
+			// itself is safe in memory, but clients paging the stored
+			// records would see silently truncated data, so make the
+			// failure loud.
+			if ferr := writer.Finish(resultstore.StatusDone, summaryFor(campID, req.Project, res), res.Report); ferr != nil {
+				log.Printf("saas: campaign %s: record persistence: %v", campID, ferr)
+			}
+		}
+		return campID, nil
 	}
 	jobID, err := s.sched.Submit(req.Project, task)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "cannot schedule campaign: %v", err)
 		return
 	}
+	jobIDCh <- jobID
 
 	if r.URL.Query().Get("wait") != "true" {
 		writeJSON(w, http.StatusAccepted, map[string]string{"job": jobID})
@@ -411,11 +596,26 @@ func jobView(st scheduler.Status) JobStatus {
 	return out
 }
 
+// jobStatus is jobView plus the live-campaign link: a running job
+// already has a campaign in the result store (records streaming in),
+// so clients can follow /campaigns/{id}/stream before the job is done.
+func (s *Server) jobStatus(st scheduler.Status) JobStatus {
+	out := jobView(st)
+	if out.Campaign == "" && out.State == scheduler.Running {
+		if id := campaignIDFor(out.ID); id != out.ID {
+			if _, ok := s.store.Get(id); ok {
+				out.Campaign = id
+			}
+		}
+	}
+	return out
+}
+
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	sts := s.sched.List()
 	out := make([]JobStatus, len(sts))
 	for i, st := range sts {
-		out[i] = jobView(st)
+		out[i] = s.jobStatus(st)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -426,7 +626,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	writeJSON(w, http.StatusOK, jobView(st))
+	writeJSON(w, http.StatusOK, s.jobStatus(st))
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
@@ -472,8 +672,100 @@ func (s *Server) handleGetCampaignText(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such campaign")
 		return
 	}
+	// Reports grow with component and fault-type cardinality; cap the
+	// response (rune-safely — report tables can carry multi-byte file
+	// names) so one campaign cannot produce an unbounded text body.
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = w.Write([]byte(run.text))
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	_, _ = w.Write([]byte(truncateText(run.text, maxTextReportBytes)))
+}
+
+// truncateText cuts s to at most max bytes without splitting a UTF-8
+// rune, marking the cut.
+func truncateText(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	cut := max
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut] + "\n…(truncated)\n"
+}
+
+// handleGetCampaignRecords serves one page of a campaign's experiment
+// records from the result store. Cursor pagination: `after` is the
+// number of records already consumed (the `next` of the previous page),
+// `limit` caps the page size.
+func (s *Server) handleGetCampaignRecords(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	after, err := queryInt64(r, "after", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad after cursor: %v", err)
+		return
+	}
+	limit, err := queryInt64(r, "limit", 100)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad limit: %v", err)
+		return
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	page, err := s.store.Records(id, after, int(limit))
+	if err != nil {
+		if errors.Is(err, resultstore.ErrNotFound) {
+			httpError(w, http.StatusNotFound, "no such campaign")
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "read records: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleStreamCampaign serves a campaign's records as live NDJSON: one
+// record per line, flushed as experiments complete, ending when the
+// campaign finishes (finished campaigns replay and end immediately).
+// `?after=<cursor>` resumes mid-stream.
+func (s *Server) handleStreamCampaign(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	after, err := queryInt64(r, "after", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad after cursor: %v", err)
+		return
+	}
+	if _, ok := s.store.Get(id); !ok {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	err = s.store.Follow(r.Context(), id, after, func(seq int64, line json.RawMessage) error {
+		if _, werr := w.Write(append(line, '\n')); werr != nil {
+			return werr
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	// A store-side failure truncates the stream indistinguishably from
+	// completion for the client; leave a server-side trace. Client
+	// disconnects and shutdown cancellation are normal stream ends.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("saas: campaign %s: record stream: %v", id, err)
+	}
+}
+
+// queryInt64 parses an optional integer query parameter.
+func queryInt64(r *http.Request, name string, def int64) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	return strconv.ParseInt(raw, 10, 64)
 }
 
 // envFunc resolves the host environment for experiment interpreters.

@@ -1,0 +1,121 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestOnFinishObservesEveryTerminalJob covers the journal hook across
+// all three terminal paths: normal completion, failure, and
+// cancellation of a queued job.
+func TestOnFinishObservesEveryTerminalJob(t *testing.T) {
+	var mu sync.Mutex
+	finished := map[string]State{}
+	s := New(Config{Workers: 1, OnFinish: func(st Status) {
+		mu.Lock()
+		finished[st.ID] = st.State
+		mu.Unlock()
+	}})
+	defer s.Close()
+
+	okID, err := s.Submit("ok", func(ctx context.Context, report func(Progress)) (any, error) {
+		return "r", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failID, err := s.Submit("fail", func(ctx context.Context, report func(Progress)) (any, error) {
+		return nil, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Wait(okID)
+	s.Wait(failID)
+
+	gate := make(chan struct{})
+	defer close(gate)
+	blockID, err := s.Submit("block", func(ctx context.Context, report func(Progress)) (any, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While the worker is blocked, a queued job canceled before running
+	// must also reach the hook.
+	queuedID, err := s.Submit("queued", func(ctx context.Context, report func(Progress)) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel(queuedID)
+	s.Cancel(blockID)
+	s.Wait(blockID)
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := map[string]State{okID: Done, failID: Failed, queuedID: Canceled, blockID: Canceled}
+	for id, state := range want {
+		if finished[id] != state {
+			t.Errorf("job %s journaled as %q, want %q", id, finished[id], state)
+		}
+	}
+}
+
+// TestRestoreSeedsTerminalHistory verifies restored jobs are served by
+// Status/List/Wait and that new submissions never collide with restored
+// IDs.
+func TestRestoreSeedsTerminalHistory(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.Restore([]Status{
+		{ID: "job-7", Name: "old", State: Done, Result: "camp-3",
+			Progress: Progress{Phase: "analyze", Done: 5, Total: 5},
+			PhaseMillis: map[string]int64{"execute": 12}, EnqueuedMS: 1000, FinishedMS: 2000},
+		{ID: "job-2", Name: "older", State: Failed, Error: "boom"},
+		{ID: "job-9", Name: "still-running", State: Running}, // must be skipped
+		{ID: "", State: Done},                                // must be skipped
+	})
+
+	st, ok := s.Status("job-7")
+	if !ok || st.State != Done || st.Result.(string) != "camp-3" || st.PhaseMillis["execute"] != 12 {
+		t.Fatalf("restored job-7 = %+v", st)
+	}
+	if st.EnqueuedMS != 1000 || st.FinishedMS != 2000 {
+		t.Errorf("timestamps not restored: %+v", st)
+	}
+	if st, ok := s.Status("job-2"); !ok || st.State != Failed || st.Error != "boom" {
+		t.Errorf("restored job-2 = %+v", st)
+	}
+	if _, ok := s.Status("job-9"); ok {
+		t.Error("non-terminal snapshot was restored")
+	}
+	// Wait on restored history returns immediately.
+	if st, ok := s.Wait("job-7"); !ok || st.State != Done {
+		t.Errorf("Wait(job-7) = %+v, %v", st, ok)
+	}
+	// A new submission gets an ID beyond the restored maximum.
+	id, err := s.Submit("new", func(ctx context.Context, report func(Progress)) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "job-8" {
+		t.Errorf("new job id = %s, want job-8 (past restored job-7)", id)
+	}
+	if _, exists := map[string]bool{"job-7": true, "job-2": true}[id]; exists {
+		t.Errorf("new job id %s collides with restored history", id)
+	}
+	s.Wait(id)
+	if got := len(s.List()); got != 3 {
+		t.Errorf("List has %d jobs, want 3 (2 restored + 1 new)", got)
+	}
+}

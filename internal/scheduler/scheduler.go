@@ -79,6 +79,12 @@ type Config struct {
 	// Retain bounds how many finished jobs are kept for inspection;
 	// the oldest terminal jobs are evicted first (default 256).
 	Retain int
+	// OnFinish, when set, observes every job that reaches a terminal
+	// state (done, failed or canceled — including jobs canceled while
+	// still queued). The SaaS layer journals these snapshots to the
+	// result store so job history survives restarts. Called outside
+	// scheduler locks; must be safe for concurrent use.
+	OnFinish func(Status)
 }
 
 func (c Config) withDefaults() Config {
@@ -296,7 +302,7 @@ func (s *Scheduler) Cancel(id string) (Status, bool) {
 		j.finished = time.Now()
 		close(j.done)
 		j.mu.Unlock()
-		s.evict()
+		s.finished(j)
 	case Running:
 		cancel := j.cancel
 		j.mu.Unlock()
@@ -338,13 +344,18 @@ func (s *Scheduler) Close() {
 	s.mu.Unlock()
 	for _, j := range drained {
 		j.mu.Lock()
+		canceled := false
 		if j.state == Queued {
 			j.state = Canceled
 			j.err = context.Canceled
 			j.finished = time.Now()
 			close(j.done)
+			canceled = true
 		}
 		j.mu.Unlock()
+		if canceled && s.cfg.OnFinish != nil {
+			s.cfg.OnFinish(j.status())
+		}
 	}
 	s.baseCancel()
 	s.wg.Wait()
@@ -383,6 +394,7 @@ func (s *Scheduler) runJob(j *job) {
 		j.finished = time.Now()
 		close(j.done)
 		j.mu.Unlock()
+		s.finished(j)
 		return
 	}
 	j.state = Running
@@ -412,7 +424,77 @@ func (s *Scheduler) runJob(j *job) {
 	}
 	close(j.done)
 	j.mu.Unlock()
+	s.finished(j)
+}
+
+// finished runs the terminal-state bookkeeping for a job: retention
+// eviction, then the OnFinish journal hook (outside all locks).
+func (s *Scheduler) finished(j *job) {
 	s.evict()
+	if s.cfg.OnFinish != nil {
+		s.cfg.OnFinish(j.status())
+	}
+}
+
+// Restore seeds the job store with terminal jobs from a previous
+// process (journaled through OnFinish and reloaded at startup): they
+// become visible to Status/List/Wait as finished history, and the ID
+// counter advances past them so new jobs never collide. Non-terminal
+// snapshots and duplicates are skipped.
+func (s *Scheduler) Restore(sts []Status) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range sts {
+		if st.ID == "" || !st.State.Terminal() {
+			continue
+		}
+		if _, exists := s.jobs[st.ID]; exists {
+			continue
+		}
+		j := &job{
+			id:       st.ID,
+			name:     st.Name,
+			state:    st.State,
+			prog:     st.Progress,
+			result:   st.Result,
+			enqueued: msTime(st.EnqueuedMS),
+			started:  msTime(st.StartedMS),
+			finished: msTime(st.FinishedMS),
+			phaseMS:  make(map[string]int64, len(st.PhaseMillis)),
+			done:     make(chan struct{}),
+		}
+		for k, v := range st.PhaseMillis {
+			j.phaseMS[k] = v
+		}
+		if st.Error != "" {
+			j.err = errors.New(st.Error)
+		}
+		close(j.done)
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		var n int
+		if _, err := fmt.Sscanf(st.ID, "job-%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+}
+
+// AdvanceIDs bumps the job ID counter to at least n, so IDs derived
+// from job numbers by the API layer (campaign IDs) can never collide
+// with artifacts of a crashed process whose jobs were never journaled.
+func (s *Scheduler) AdvanceIDs(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.nextID {
+		s.nextID = n
+	}
+}
+
+func msTime(ms int64) time.Time {
+	if ms == 0 {
+		return time.Time{}
+	}
+	return time.UnixMilli(ms)
 }
 
 // evict drops the oldest terminal jobs beyond the retention limit.

@@ -1,0 +1,226 @@
+// Streaming-pipeline benchmarks: campaign record throughput through the
+// Local vs Sharded executors, and the online aggregator's per-record
+// cost. TestEmitPipelineBenchJSON (gated by PROFIPY_BENCH_PIPELINE_JSON)
+// writes the machine-readable BENCH_pipeline.json consumed by
+// `make bench-pipeline` and the CI bench job.
+package profipy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"profipy/internal/analysis"
+	"profipy/internal/executor"
+	"profipy/internal/kvclient"
+)
+
+// benchPipelineCampaign runs the §V-A campaign under an executor and reports
+// how many experiment records flowed through the pipeline.
+func benchPipelineCampaign(tb testing.TB, ex executor.Executor) int {
+	tb.Helper()
+	rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+	c := kvclient.CampaignA(rt, 101)
+	c.Executor = ex
+	c.DiscardRecords = true // measure the streaming path, not slice growth
+	records := 0
+	c.Sink = executor.SinkFunc(func(idx int, rec analysis.Record) { records++ })
+	if _, err := c.Run(); err != nil {
+		tb.Fatalf("campaign: %v", err)
+	}
+	return records
+}
+
+// pipelineEngines are the executor geometries the benchmarks compare.
+var pipelineEngines = []struct {
+	name string
+	ex   executor.Executor
+}{
+	{"local", executor.Local{Workers: 3}},
+	{"sharded-2x2", executor.Sharded{Shards: 2, Workers: 2}},
+	{"sharded-4x1", executor.Sharded{Shards: 4}},
+	{"sharded-8x2", executor.Sharded{Shards: 8, Workers: 2}},
+}
+
+// BenchmarkPipelineExecutors measures end-to-end campaign record
+// throughput per engine.
+func BenchmarkPipelineExecutors(b *testing.B) {
+	for _, eng := range pipelineEngines {
+		b.Run(eng.name, func(b *testing.B) {
+			records := 0
+			for i := 0; i < b.N; i++ {
+				records = benchPipelineCampaign(b, eng.ex)
+			}
+			b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// loadGoldenRecords reads one golden campaign record fixture.
+func loadGoldenRecords(tb testing.TB, name string) []analysis.Record {
+	tb.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".json"))
+	if err != nil {
+		tb.Fatalf("golden fixture: %v", err)
+	}
+	var recs []analysis.Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		tb.Fatal(err)
+	}
+	return recs
+}
+
+// BenchmarkAggregatorAdd measures the online aggregator's per-record
+// cost over the mixed runtime campaign's records (the richest shape:
+// injections, failures, log classification).
+func BenchmarkAggregatorAdd(b *testing.B) {
+	recs := loadGoldenRecords(b, "campaign-r")
+	cfg := kvclient.AnalysisConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := analysis.NewAggregator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rec := range recs {
+			agg.Add(rec)
+		}
+		if agg.Report().Total != len(recs) {
+			b.Fatal("bad aggregate")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(recs)), "ns/record")
+}
+
+// BenchmarkAggregatorMerge measures shard-merge cost.
+func BenchmarkAggregatorMerge(b *testing.B) {
+	recs := loadGoldenRecords(b, "campaign-r")
+	cfg := kvclient.AnalysisConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		const shards = 8
+		root, err := analysis.NewAggregator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < shards; s++ {
+			agg, err := analysis.NewAggregator(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo, hi := executor.Shard(len(recs), shards, s)
+			for _, rec := range recs[lo:hi] {
+				agg.Add(rec)
+			}
+			root.Merge(agg)
+		}
+		if root.Report().Total != len(recs) {
+			b.Fatal("bad merge")
+		}
+	}
+}
+
+// pipelineBenchResult is one row of BENCH_pipeline.json.
+type pipelineBenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	RecordsPerS float64 `json:"recordsPerSec,omitempty"`
+	NsPerRecord float64 `json:"nsPerRecord,omitempty"`
+}
+
+// TestEmitPipelineBenchJSON measures record throughput through both
+// executors and the aggregator's per-record cost, writing the results
+// to the path in PROFIPY_BENCH_PIPELINE_JSON (skipped otherwise).
+// `make bench-pipeline` and the CI bench job run it and archive the
+// artifact next to BENCH_exec.json.
+func TestEmitPipelineBenchJSON(t *testing.T) {
+	path := os.Getenv("PROFIPY_BENCH_PIPELINE_JSON")
+	if path == "" {
+		t.Skip("set PROFIPY_BENCH_PIPELINE_JSON=<path> to emit the pipeline benchmark artifact")
+	}
+
+	var rows []pipelineBenchResult
+	for _, eng := range pipelineEngines {
+		records := 0
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				records = benchPipelineCampaign(b, eng.ex)
+			}
+		})
+		row := pipelineBenchResult{
+			Name:        "campaign-records/" + eng.name,
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}
+		if br.NsPerOp() > 0 {
+			row.RecordsPerS = float64(records) * 1e9 / float64(br.NsPerOp())
+		}
+		rows = append(rows, row)
+	}
+
+	recs := loadGoldenRecords(t, "campaign-r")
+	cfg := kvclient.AnalysisConfig()
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			agg, err := analysis.NewAggregator(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, rec := range recs {
+				agg.Add(rec)
+			}
+			if agg.Report().Total != len(recs) {
+				b.Fatal("bad aggregate")
+			}
+		}
+	})
+	aggRow := pipelineBenchResult{
+		Name:        "aggregator-add",
+		NsPerOp:     float64(br.NsPerOp()),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+	if len(recs) > 0 {
+		aggRow.NsPerRecord = float64(br.NsPerOp()) / float64(len(recs))
+	}
+	rows = append(rows, aggRow)
+
+	out := struct {
+		Benchmarks []pipelineBenchResult `json:"benchmarks"`
+	}{Benchmarks: rows}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", path, data)
+}
+
+// TestCampaignMemoryFootprintNote is documentation-in-code for the
+// O(shards) claim: with DiscardRecords the campaign result carries no
+// record slice however many experiments ran.
+func TestCampaignMemoryFootprintNote(t *testing.T) {
+	rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+	c := kvclient.CampaignA(rt, 101)
+	c.DiscardRecords = true
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != nil {
+		t.Fatalf("DiscardRecords kept %d records", len(res.Records))
+	}
+	if res.Report == nil || res.Report.Total == 0 {
+		t.Fatal("report must still aggregate online")
+	}
+	_ = fmt.Sprintf("%d", res.Report.Total)
+}

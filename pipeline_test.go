@@ -1,0 +1,149 @@
+// Streaming-pipeline equivalence tests: the §V campaigns must produce
+// byte-identical records and reports whichever execution engine runs
+// them — the Local N−1 pool or the Sharded executor at any shard/worker
+// count — and whether records are collected, streamed to a sink, or
+// discarded for O(shards) memory. Experiment seeds derive from plan
+// indices, never from scheduling, which is what makes this hold.
+package profipy
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"profipy/internal/analysis"
+	"profipy/internal/campaign"
+	"profipy/internal/executor"
+	"profipy/internal/kvclient"
+)
+
+func runWithExecutor(t *testing.T, build func(rt *Runtime, seed int64) *campaign.Campaign,
+	seed int64, ex executor.Executor) *campaign.Result {
+	t.Helper()
+	rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+	c := build(rt, seed)
+	c.Executor = ex
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("campaign (%v): %v", ex, err)
+	}
+	return res
+}
+
+// TestShardedCampaignMatchesGolden runs every golden campaign through
+// the Sharded executor at several shard geometries and compares the
+// full record JSON byte-for-byte against the same fixtures the default
+// Local path is pinned to.
+func TestShardedCampaignMatchesGolden(t *testing.T) {
+	executors := []executor.Executor{
+		executor.Sharded{Shards: 1},
+		executor.Sharded{Shards: 2, Workers: 2},
+		executor.Sharded{Shards: 3},
+		executor.Sharded{Shards: 7, Workers: 3},
+	}
+	for _, gc := range goldenCampaigns {
+		t.Run(gc.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", gc.name+".json"))
+			if err != nil {
+				t.Fatalf("missing golden fixture: %v", err)
+			}
+			for _, ex := range executors {
+				res := runWithExecutor(t, gc.build, gc.seed, ex)
+				got, err := json.MarshalIndent(res.Records, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, '\n')
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s: records drifted from golden fixture", ex.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineReportIdenticalAcrossEngines asserts the online
+// aggregator closes the loop: reports (not just records) are
+// byte-identical across engines and shard counts.
+func TestPipelineReportIdenticalAcrossEngines(t *testing.T) {
+	base := runWithExecutor(t, kvclient.CampaignR, 404, executor.Local{Workers: 3})
+	want, err := json.Marshal(base.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range []executor.Executor{
+		executor.Local{Workers: 1},
+		executor.Sharded{Shards: 5, Workers: 2},
+	} {
+		res := runWithExecutor(t, kvclient.CampaignR, 404, ex)
+		got, err := json.Marshal(res.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: report drifted", ex.Name())
+		}
+	}
+}
+
+// TestDiscardRecordsStreamsToSink runs a campaign with record
+// accumulation disabled: Result.Records must be nil, every record must
+// still reach the sink exactly once, and the report must match the
+// collected baseline byte-for-byte.
+func TestDiscardRecordsStreamsToSink(t *testing.T) {
+	baseline := runWithExecutor(t, kvclient.CampaignA, 101, nil)
+	wantReport, err := json.Marshal(baseline.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+	c := kvclient.CampaignA(rt, 101)
+	c.DiscardRecords = true
+	c.Executor = executor.Sharded{Shards: 4, Workers: 2}
+	var mu sync.Mutex
+	streamed := map[int]analysis.Record{}
+	c.Sink = executor.SinkFunc(func(idx int, rec analysis.Record) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := streamed[idx]; dup {
+			t.Errorf("record %d delivered twice", idx)
+		}
+		streamed[idx] = rec
+	})
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != nil {
+		t.Errorf("DiscardRecords left %d records materialized", len(res.Records))
+	}
+	if len(streamed) != len(baseline.Records) {
+		t.Fatalf("sink saw %d records, want %d", len(streamed), len(baseline.Records))
+	}
+	ordered := make([]analysis.Record, len(streamed))
+	for idx, rec := range streamed {
+		ordered[idx] = rec
+	}
+	gotRecs, err := json.Marshal(ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecs, err := json.Marshal(baseline.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotRecs, wantRecs) {
+		t.Error("streamed records drifted from the collected baseline")
+	}
+	gotReport, err := json.Marshal(res.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotReport, wantReport) {
+		t.Error("aggregated report drifted from the collected baseline")
+	}
+}
