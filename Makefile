@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_PKGS = ./internal/scanner/ ./internal/pattern/ ./internal/mutator/ ./internal/interp/
 
-.PHONY: build vet test race shuffle cover fuzz-smoke golden-update bench bench-exec bench-pipeline bench-all
+.PHONY: build vet test race shuffle cover fuzz-smoke golden-update bench bench-exec bench-pipeline bench-all metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,12 @@ bench-exec:
 # cost, as machine-readable JSON (BENCH_pipeline.json, a CI artifact).
 bench-pipeline:
 	PROFIPY_BENCH_PIPELINE_JSON=$(CURDIR)/BENCH_pipeline.json $(GO) test -run TestEmitPipelineBenchJSON -count=1 .
+
+# Observability gate: boots profipyd, runs a demo campaign, and fails
+# if /metrics is missing an expected family, the exposition format does
+# not parse, or the pprof debug listener is unreachable.
+metrics-smoke:
+	./scripts/metrics-smoke.sh
 
 # Everything, including the paper-evaluation campaign benchmarks at the
 # repository root (slow).

@@ -31,6 +31,12 @@
 //	GET    /api/v1/jobs                    list campaign jobs
 //	GET    /api/v1/jobs/{id}               job status + live progress
 //	DELETE /api/v1/jobs/{id}               cancel a queued/running job
+//	GET    /metrics                        Prometheus text exposition
+//
+// With -debug-addr the daemon additionally serves net/http/pprof on a
+// separate listener (keep it off the public address):
+//
+//	profipyd -addr :8080 -debug-addr 127.0.0.1:6060
 package main
 
 import (
@@ -38,10 +44,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,7 +75,13 @@ func run(ctx context.Context, args []string) error {
 	retain := fs.Int("retain", 256, "finished jobs kept for polling")
 	dataDir := fs.String("data-dir", "", "persistent result store directory (empty = in-memory only)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful HTTP drain deadline on SIGINT/SIGTERM")
+	debugAddr := fs.String("debug-addr", "", "optional pprof listen address (e.g. 127.0.0.1:6060); empty disables")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	logJSON := fs.Bool("log-json", false, "emit logs as JSON instead of text")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := setupLogging(*logLevel, *logJSON); err != nil {
 		return err
 	}
 	srv, err := saas.NewServerWithOptions(saas.Options{
@@ -81,6 +96,15 @@ func run(ctx context.Context, args []string) error {
 		srv.Close()
 		return err
 	}
+	if *debugAddr != "" {
+		stopDebug, derr := serveDebug(*debugAddr)
+		if derr != nil {
+			ln.Close()
+			srv.Close()
+			return derr
+		}
+		defer stopDebug()
+	}
 	persistence := "in-memory results"
 	if *dataDir != "" {
 		persistence = "data dir " + *dataDir
@@ -88,6 +112,48 @@ func run(ctx context.Context, args []string) error {
 	fmt.Printf("profipyd listening on %s (demo project: %s, %d campaign workers, %s)\n",
 		ln.Addr(), saas.DemoProjectID, *workers, persistence)
 	return serve(ctx, srv, ln, *shutdownTimeout)
+}
+
+// setupLogging installs the process-wide slog default the saas layer
+// logs through (context-scoped loggers derive from it).
+func setupLogging(level string, asJSON bool) error {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(strings.ToLower(level))); err != nil {
+		return fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if asJSON {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// serveDebug exposes net/http/pprof on its own listener, kept separate
+// from the API address so profiling endpoints are never reachable
+// through the public port. Returns a closer for shutdown.
+func serveDebug(addr string) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	dbg := &http.Server{Handler: mux}
+	go func() {
+		if err := dbg.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			slog.Warn("debug server stopped", "err", err)
+		}
+	}()
+	slog.Info("pprof debug server listening", "addr", ln.Addr().String())
+	return func() { _ = dbg.Close() }, nil
 }
 
 // serve runs the HTTP server until ctx is canceled (SIGINT/SIGTERM),

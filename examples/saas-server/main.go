@@ -13,6 +13,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"time"
 
 	"profipy/internal/saas"
@@ -112,7 +113,46 @@ change {
 	}
 	fmt.Printf("paged %d experiment records from the result store\n", records)
 
-	// 6. Fetch the human-readable report.
+	// 6. Fetch the machine-readable phase timeline that rides along
+	// with the report: where the campaign's wall time went, including
+	// one span per executor shard.
+	var view struct {
+		Phases []struct {
+			Name      string `json:"name"`
+			Component string `json:"component"`
+			StartNS   int64  `json:"startNs"`
+			EndNS     int64  `json:"endNs"`
+		} `json:"phases"`
+	}
+	body, err := getText(ts.URL + "/api/v1/campaigns/" + job.Campaign)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		return err
+	}
+	fmt.Println("campaign phase timeline:")
+	for _, p := range view.Phases {
+		fmt.Printf("  %-10s %-9s %8.3f ms\n", p.Name, p.Component, float64(p.EndNS-p.StartNS)/1e6)
+	}
+
+	// 7. Scrape the Prometheus endpoint the whole pipeline reports
+	// into — the same families an operator would dashboard.
+	scrape, err := getText(ts.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	fmt.Println("selected /metrics families:")
+	for _, line := range strings.Split(scrape, "\n") {
+		if strings.HasPrefix(line, "profipy_campaign_experiments_total") ||
+			strings.HasPrefix(line, "profipy_executor_records_total") ||
+			strings.HasPrefix(line, "profipy_resultstore_appends_total") ||
+			strings.HasPrefix(line, "profipy_scheduler_jobs_finished_total") {
+			fmt.Println(" ", line)
+		}
+	}
+
+	// 8. Fetch the human-readable report.
 	text, err := getText(ts.URL + "/api/v1/campaigns/" + job.Campaign + "/text")
 	if err != nil {
 		return err

@@ -12,6 +12,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -22,11 +23,13 @@ import (
 	"profipy/internal/faultmodel"
 	"profipy/internal/interp"
 	"profipy/internal/mutator"
+	"profipy/internal/obs"
 	"profipy/internal/pattern"
 	"profipy/internal/plan"
 	"profipy/internal/runtimefault"
 	"profipy/internal/sandbox"
 	"profipy/internal/scanner"
+	"profipy/internal/trace"
 	"profipy/internal/workload"
 )
 
@@ -86,6 +89,11 @@ type Campaign struct {
 	// campaign stops materializing the full record slice — memory stays
 	// O(shards) instead of O(experiments).
 	DiscardRecords bool
+	// Metrics, when set, instruments the run (experiment outcomes,
+	// phase latency, compile-cache hits) and is forwarded to the
+	// default Local executor; caller-supplied executors carry their own
+	// registry reference.
+	Metrics *obs.Registry
 }
 
 // Phase names reported through OnProgress, in workflow order.
@@ -132,6 +140,12 @@ type Result struct {
 	// recompilation.
 	Mutated  int
 	Injected int
+	// Phases is the campaign's own span timeline — the §IV-D recorder
+	// turned on the workflow itself: one span per phase (scan, compile,
+	// coverage, execute, aggregate) plus one per shard when the sharded
+	// executor ran. Offsets are nanoseconds from campaign start;
+	// ordering is deterministic (StartNS, then Name).
+	Phases []trace.Span
 }
 
 // Run executes the full workflow.
@@ -144,6 +158,21 @@ func (c *Campaign) Run() (*Result, error) {
 // experiments finish, pending ones are skipped, and the ctx error is
 // returned.
 func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
+	met := newMetrics(c.Metrics)
+	met.run("started")
+	res, err := c.runContext(ctx, met)
+	switch {
+	case err == nil:
+		met.run("completed")
+	case errors.Is(err, context.Canceled):
+		met.run("canceled")
+	default:
+		met.run("failed")
+	}
+	return res, err
+}
+
+func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, error) {
 	if len(c.Files) == 0 {
 		return nil, fmt.Errorf("campaign %s: no target files", c.Name)
 	}
@@ -152,6 +181,20 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
+
+	// The phase recorder is the §IV-D span timeline pointed at the
+	// workflow itself: every phase (and every shard, under the sharded
+	// executor) lands as a span with nanosecond offsets from t0, so
+	// the service can answer "where did this campaign's time go".
+	t0 := time.Now()
+	spans := trace.NewRecorder()
+	phaseSpan := func(name string, from time.Time) {
+		spans.Record(trace.Span{
+			Name: name, Component: "campaign",
+			StartNS: from.Sub(t0).Nanoseconds(), EndNS: time.Since(t0).Nanoseconds(),
+		})
+		met.phase(name, time.Since(from))
 	}
 
 	// --- Scan phase ---
@@ -169,6 +212,7 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 		pl = pl.Sample(c.SampleN, c.Seed)
 	}
 	res := &Result{Plan: pl, ScanTime: time.Since(scanStart)}
+	phaseSpan("scan", scanStart)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
 	}
@@ -178,8 +222,10 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	// then runs compiled code, and each experiment recompiles only its
 	// single mutated file. On any compile failure the workload falls
 	// back to the per-round tree-walk with identical semantics.
+	compileStart := time.Now()
 	wcfg := c.Workload
 	wcfg.Program = c.compileBase(cache)
+	phaseSpan("compile", compileStart)
 
 	// --- Coverage analysis (fault-free instrumented run) ---
 	c.progress(PhaseCoverage, 0, len(pl.Points))
@@ -190,6 +236,7 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	}
 	res.Covered = covered
 	res.CovTime = time.Since(covStart)
+	phaseSpan("coverage", covStart)
 
 	execPoints := pl.Points
 	if c.ReducePlan {
@@ -218,7 +265,7 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	if exec == nil {
 		img := c.Image
 		img.Files = c.Files
-		exec = executor.Local{Workers: c.Runtime.MaxParallel(img)}
+		exec = executor.Local{Workers: c.Runtime.MaxParallel(img), Reg: c.Metrics}
 	}
 	var collect *executor.Collect
 	if !c.DiscardRecords {
@@ -226,6 +273,24 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	}
 	c.progress(PhaseExecute, 0, len(execPoints))
 	execStart := time.Now()
+	// Under the sharded engine, each shard contributes its own span to
+	// the campaign timeline (offsets are rebased from Run start to
+	// campaign start). The recorder is concurrency-safe, matching the
+	// hook's per-shard-goroutine delivery.
+	if sh, ok := exec.(executor.Sharded); ok {
+		prev := sh.OnShardSpan
+		execBase := execStart.Sub(t0).Nanoseconds()
+		sh.OnShardSpan = func(shard int, startNS, endNS int64) {
+			if prev != nil {
+				prev(shard, startNS, endNS)
+			}
+			spans.Record(trace.Span{
+				Name: fmt.Sprintf("shard-%d", shard), Component: "executor",
+				StartNS: execBase + startNS, EndNS: execBase + endNS,
+			})
+		}
+		exec = sh
+	}
 	var mutated, injected atomic.Int64
 	experiment := func(i int) analysis.Record {
 		if ctx.Err() != nil {
@@ -236,6 +301,7 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	done := 0
 	sink := executor.SinkFunc(func(idx int, rec analysis.Record) {
 		agg.Add(rec)
+		met.experiment(rec.Result == nil)
 		if rec.Result == nil {
 			res.Errors++
 		}
@@ -255,11 +321,15 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("campaign %s: execute: %w", c.Name, err)
 	}
 	res.ExecTime = time.Since(execStart)
+	phaseSpan("execute", execStart)
 	if collect != nil {
 		res.Records = collect.Records()
 	}
 	res.Mutated = int(mutated.Load())
 	res.Injected = int(injected.Load())
+	if wcfg.Program != nil {
+		met.cache(wcfg.Program.CacheStats())
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
 	}
@@ -269,7 +339,10 @@ func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
 	// it completed, so finishing the phase is O(1) regardless of the
 	// experiment count (and byte-identical to the batch BuildReport).
 	c.progress(PhaseAnalyze, len(execPoints), len(execPoints))
+	aggStart := time.Now()
 	res.Report = agg.Report()
+	phaseSpan("aggregate", aggStart)
+	res.Phases = spans.Spans()
 	return res, nil
 }
 

@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"time"
+
+	"profipy/internal/obs"
+)
+
+// cmetrics instruments campaign runs. A nil *cmetrics is valid and
+// inert, so call sites stay unconditional.
+type cmetrics struct {
+	runs        *obs.CounterVec // status = started | completed | failed | canceled
+	experiments *obs.CounterVec // result = ok | error
+	phaseDur    *obs.HistogramVec
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+}
+
+// phaseBuckets cover millisecond scan phases through minute-scale
+// execution phases.
+var phaseBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 5, 15, 60, 300}
+
+func newMetrics(reg *obs.Registry) *cmetrics {
+	if reg == nil {
+		return nil
+	}
+	return &cmetrics{
+		runs: reg.CounterVec("profipy_campaign_runs_total",
+			"Campaign workflow runs, by lifecycle event.", "status"),
+		experiments: reg.CounterVec("profipy_campaign_experiments_total",
+			"Completed experiments, by outcome (error = infrastructure abort).", "result"),
+		phaseDur: reg.HistogramVec("profipy_campaign_phase_seconds",
+			"Wall-clock time per campaign workflow phase.", phaseBuckets, "phase"),
+		cacheHits: reg.Counter("profipy_campaign_compile_cache_hits_total",
+			"Per-experiment program derivations served from the content-hash unit cache."),
+		cacheMisses: reg.Counter("profipy_campaign_compile_cache_misses_total",
+			"Per-experiment program derivations that had to recompile the mutated file."),
+	}
+}
+
+func (m *cmetrics) run(status string) {
+	if m != nil {
+		m.runs.With(status).Inc()
+	}
+}
+
+func (m *cmetrics) phase(name string, d time.Duration) {
+	if m != nil {
+		m.phaseDur.With(name).Observe(d.Seconds())
+	}
+}
+
+func (m *cmetrics) experiment(infraError bool) {
+	if m == nil {
+		return
+	}
+	if infraError {
+		m.experiments.With("error").Inc()
+	} else {
+		m.experiments.With("ok").Inc()
+	}
+}
+
+func (m *cmetrics) cache(hits, misses uint64) {
+	if m != nil {
+		m.cacheHits.Add(float64(hits))
+		m.cacheMisses.Add(float64(misses))
+	}
+}

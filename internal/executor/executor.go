@@ -20,8 +20,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"profipy/internal/analysis"
+	"profipy/internal/obs"
 )
 
 // Experiment runs the experiment at plan index idx and returns its
@@ -95,6 +97,9 @@ type indexed struct {
 type Local struct {
 	// Workers bounds parallel experiments (<1 runs sequentially).
 	Workers int
+	// Reg, when set, instruments the run: completed records,
+	// per-experiment latency and busy workers (see newMetrics).
+	Reg *obs.Registry
 }
 
 // Name implements Executor.
@@ -105,7 +110,12 @@ func (l Local) Run(ctx context.Context, n int, exp Experiment, sink RecordSink) 
 	if n == 0 {
 		return nil
 	}
-	runPool(0, n, l.Workers, exp, func(r indexed) { sink.Put(r.idx, r.rec) })
+	m := newMetrics(l.Reg, l.Name())
+	exp = m.instrument(exp)
+	runPool(0, n, l.Workers, exp, func(r indexed) {
+		m.record()
+		sink.Put(r.idx, r.rec)
+	})
 	return nil
 }
 
@@ -166,6 +176,15 @@ type Sharded struct {
 	// OnShard, when set, observes per-shard progress as experiments
 	// complete. It is called from the collector goroutine.
 	OnShard func(ShardProgress)
+	// OnShardSpan, when set, observes each shard's wall-clock execution
+	// window as nanosecond offsets from the start of Run — the
+	// campaign's phase-timeline recorder hangs off this. Called from
+	// the shard's own goroutine when the shard drains; must be safe for
+	// concurrent use.
+	OnShardSpan func(shard int, startNS, endNS int64)
+	// Reg, when set, instruments the run: completed records,
+	// per-experiment latency, busy workers and shard latency.
+	Reg *obs.Registry
 }
 
 // Name implements Executor.
@@ -207,6 +226,9 @@ func (s Sharded) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 		shards = n
 	}
 	workers := s.workers()
+	m := newMetrics(s.Reg, s.Name())
+	exp = m.instrument(exp)
+	t0 := time.Now()
 
 	// Each shard streams into its own bounded channel (per-shard
 	// backpressure: a stalled collector never lets a shard run more
@@ -224,7 +246,7 @@ func (s Sharded) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 		lo, hi := Shard(n, shards, si)
 		totals[si] = hi - lo
 		stream := make(chan indexed, workers)
-		go s.runShard(lo, hi, workers, exp, stream)
+		go s.runShard(si, lo, hi, workers, exp, stream, m, t0)
 		open.Add(1)
 		go func(si int) {
 			defer open.Done()
@@ -240,6 +262,7 @@ func (s Sharded) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 
 	done := make([]int, shards)
 	for r := range merged {
+		m.record()
 		sink.Put(r.rec.idx, r.rec.rec)
 		done[r.shard]++
 		if s.OnShard != nil {
@@ -251,8 +274,15 @@ func (s Sharded) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 
 // runShard executes one shard's index range with its own worker pool,
 // writing records to the shard stream, and closes the stream when the
-// shard drains.
-func (s Sharded) runShard(lo, hi, workers int, exp Experiment, stream chan<- indexed) {
+// shard drains. Shard timing (metrics histogram and the OnShardSpan
+// offsets) is measured here, in the shard's own goroutine.
+func (s Sharded) runShard(si, lo, hi, workers int, exp Experiment, stream chan<- indexed, m *emetrics, t0 time.Time) {
+	start := time.Now()
 	runPool(lo, hi, workers, exp, func(r indexed) { stream <- r })
+	end := time.Now()
+	m.shard(end.Sub(start))
+	if s.OnShardSpan != nil {
+		s.OnShardSpan(si, start.Sub(t0).Nanoseconds(), end.Sub(t0).Nanoseconds())
+	}
 	close(stream)
 }

@@ -1,0 +1,70 @@
+package executor
+
+import (
+	"time"
+
+	"profipy/internal/analysis"
+	"profipy/internal/obs"
+)
+
+// emetrics instruments one engine's Run: completed records and
+// experiment latency (both hot-path, resolved to atomic children once
+// per Run), busy-worker gauge for utilization, and shard wall time.
+// A nil *emetrics is valid and inert.
+type emetrics struct {
+	records *obs.Counter
+	expDur  *obs.Histogram
+	busy    *obs.Gauge
+	shardH  *obs.Histogram
+}
+
+// expDurBuckets resolve the sub-millisecond experiments the compiled
+// interpreter produces up to multi-second stragglers.
+var expDurBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5}
+
+func newMetrics(reg *obs.Registry, engine string) *emetrics {
+	if reg == nil {
+		return nil
+	}
+	return &emetrics{
+		records: reg.CounterVec("profipy_executor_records_total",
+			"Experiment records delivered to the sink, by engine.", "engine").With(engine),
+		expDur: reg.HistogramVec("profipy_executor_experiment_seconds",
+			"Wall-clock latency of one experiment, by engine.", expDurBuckets, "engine").With(engine),
+		busy: reg.Gauge("profipy_executor_workers_busy",
+			"Workers currently inside an experiment (utilization numerator)."),
+		shardH: reg.Histogram("profipy_executor_shard_seconds",
+			"Wall-clock execution time of one shard.", nil),
+	}
+}
+
+// instrument wraps an Experiment with busy-gauge and latency
+// accounting; the no-metrics path returns exp untouched so the hot
+// loop pays nothing.
+func (m *emetrics) instrument(exp Experiment) Experiment {
+	if m == nil {
+		return exp
+	}
+	return func(idx int) analysis.Record {
+		m.busy.Inc()
+		start := time.Now()
+		rec := exp(idx)
+		m.expDur.ObserveSince(start)
+		m.busy.Dec()
+		return rec
+	}
+}
+
+// record counts one delivered record.
+func (m *emetrics) record() {
+	if m != nil {
+		m.records.Inc()
+	}
+}
+
+// shard records one shard's wall time.
+func (m *emetrics) shard(d time.Duration) {
+	if m != nil {
+		m.shardH.Observe(d.Seconds())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"go/token"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // SourceUnit is one target file handed to the compiler. When AST is set
@@ -29,6 +30,11 @@ type linker struct {
 	names []string
 	idx   map[string]int
 	units map[[sha256.Size]byte]*unit
+	// hits/misses count WithFiles derivations served from the unit
+	// cache vs recompiled — the campaign layer reports them as
+	// compile-cache metrics.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 func newLinker() *linker {
@@ -184,7 +190,10 @@ func (p *Program) WithFiles(overlay map[string][]byte) (*Program, error) {
 		}
 		key := unitKey(name, src)
 		u, ok := p.ln.cachedUnit(key)
-		if !ok {
+		if ok {
+			p.ln.hits.Add(1)
+		} else {
+			p.ln.misses.Add(1)
 			f, err := parser.ParseFile(token.NewFileSet(), name, src, parser.SkipObjectResolution)
 			if err != nil {
 				return nil, fmt.Errorf("interp: parse %s: %w", name, err)
@@ -208,6 +217,15 @@ func (p *Program) WithFiles(overlay map[string][]byte) (*Program, error) {
 	}
 	np.methods = mergeMethods(np.units)
 	return np, nil
+}
+
+// CacheStats reports how many WithFiles unit derivations were served
+// from the content-hash cache (hits) vs freshly compiled (misses),
+// accumulated across the program and everything derived from it —
+// base and derived programs share one linker, so a campaign reads its
+// whole compile-cache history off its base program.
+func (p *Program) CacheStats() (hits, misses uint64) {
+	return p.ln.hits.Load(), p.ln.misses.Load()
 }
 
 func unitKey(name string, src []byte) [sha256.Size]byte {

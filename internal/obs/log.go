@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// logKey carries a *slog.Logger through a context.
+type logKey struct{}
+
+// WithLog derives a context whose logger carries the given attributes
+// in addition to everything already attached — the way job, campaign
+// and shard identity accumulate as work descends through the pipeline
+// (saas attaches job+campaign, campaign attaches shard, and so on).
+func WithLog(ctx context.Context, args ...any) context.Context {
+	return context.WithValue(ctx, logKey{}, Log(ctx).With(args...))
+}
+
+// Log returns the context's logger, falling back to slog.Default for
+// contexts that never passed through WithLog.
+func Log(ctx context.Context) *slog.Logger {
+	if ctx != nil {
+		if l, ok := ctx.Value(logKey{}).(*slog.Logger); ok {
+			return l
+		}
+	}
+	return slog.Default()
+}

@@ -1,0 +1,51 @@
+package resultstore
+
+import "profipy/internal/obs"
+
+// storeMetrics instruments the persistence layer. A nil *storeMetrics
+// is valid and inert, so an uninstrumented store pays one nil check
+// per event.
+type storeMetrics struct {
+	appends     *obs.Counter
+	bytes       *obs.Counter
+	fsyncs      *obs.Counter
+	subscribers *obs.Gauge
+}
+
+// Instrument registers the store's metric families in reg and starts
+// counting. Call once, before traffic; a nil reg leaves the store
+// uninstrumented.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.met = &storeMetrics{
+		appends: reg.Counter("profipy_resultstore_appends_total",
+			"Experiment record lines appended across all campaigns."),
+		bytes: reg.Counter("profipy_resultstore_bytes_total",
+			"Record bytes written to segment storage (including newlines)."),
+		fsyncs: reg.Counter("profipy_resultstore_fsyncs_total",
+			"Durability points: segment-roll syncs and atomic meta/report writes."),
+		subscribers: reg.Gauge("profipy_resultstore_follow_subscribers",
+			"Live Follow streams currently attached to campaigns."),
+	}
+}
+
+func (m *storeMetrics) append(n int) {
+	if m != nil {
+		m.appends.Inc()
+		m.bytes.Add(float64(n))
+	}
+}
+
+func (m *storeMetrics) fsync() {
+	if m != nil {
+		m.fsyncs.Inc()
+	}
+}
+
+func (m *storeMetrics) follow(delta float64) {
+	if m != nil {
+		m.subscribers.Add(delta)
+	}
+}

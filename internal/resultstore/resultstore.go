@@ -66,7 +66,11 @@ type Meta struct {
 	Records int64 `json:"records"`
 	// Summary is an opaque blob the API layer attaches at finish time
 	// (the saas CampaignSummary).
-	Summary    json.RawMessage `json:"summary,omitempty"`
+	Summary json.RawMessage `json:"summary,omitempty"`
+	// Phases is the campaign's phase-span timeline (a []trace.Span),
+	// stored opaquely so the store stays decoupled from the trace
+	// package.
+	Phases     json.RawMessage `json:"phases,omitempty"`
 	CreatedMS  int64           `json:"createdMs,omitempty"`
 	FinishedMS int64           `json:"finishedMs,omitempty"`
 }
@@ -129,6 +133,9 @@ type Store struct {
 	jobsMu   sync.Mutex
 	jobsFile *os.File
 	jobs     []json.RawMessage
+
+	// met is set once by Instrument before traffic; nil = uninstrumented.
+	met *storeMetrics
 }
 
 // Open opens (or initializes) a store rooted at dir; an empty dir gives

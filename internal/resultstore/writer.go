@@ -47,6 +47,9 @@ func (s *Store) StartCampaign(meta Meta) (*Writer, error) {
 		err := os.MkdirAll(c.dir, 0o755)
 		if err == nil {
 			err = writeFileSync(filepath.Join(c.dir, "meta.json"), mustJSON(meta))
+			if err == nil {
+				s.met.fsync()
+			}
 		}
 		if err != nil {
 			s.mu.Lock()
@@ -87,6 +90,7 @@ func (w *Writer) Append(rec analysis.Record) error {
 			return w.failLocked(fmt.Errorf("resultstore: append: %w", err))
 		}
 	}
+	w.s.met.append(len(line) + 1)
 	c.open.lines = append(c.open.lines, line)
 	c.open.count++
 	c.seq++
@@ -128,6 +132,7 @@ func (w *Writer) rollLocked() error {
 		if err := c.file.Sync(); err != nil {
 			return fmt.Errorf("resultstore: sync segment: %w", err)
 		}
+		w.s.met.fsync()
 		if err := c.file.Close(); err != nil {
 			return fmt.Errorf("resultstore: close segment: %w", err)
 		}
@@ -150,6 +155,21 @@ func (w *Writer) failLocked(err error) error {
 		w.c.werr = err
 	}
 	return err
+}
+
+// SetPhases attaches the campaign's phase-span timeline (typically a
+// []trace.Span) to its metadata. Call before Finish — the timeline is
+// persisted with the terminal meta rewrite. A marshal failure is
+// recorded as the stream's first error.
+func (w *Writer) SetPhases(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return w.fail(fmt.Errorf("resultstore: phases: %w", err))
+	}
+	w.c.mu.Lock()
+	defer w.c.mu.Unlock()
+	w.c.meta.Phases = data
+	return nil
 }
 
 // Seq reports how many records have been appended.
@@ -189,10 +209,14 @@ func (w *Writer) Finish(status string, summary any, report *analysis.Report) err
 		if c.report != nil {
 			if err := writeFileSync(filepath.Join(c.dir, "report.json"), c.report); err != nil {
 				w.failLocked(err)
+			} else {
+				w.s.met.fsync()
 			}
 		}
 		if err := writeFileSync(filepath.Join(c.dir, "meta.json"), mustJSON(c.meta)); err != nil {
 			w.failLocked(err)
+		} else {
+			w.s.met.fsync()
 		}
 	}
 	c.notifyLocked()
@@ -258,6 +282,8 @@ func (s *Store) Follow(ctx context.Context, id string, after int64, fn func(seq 
 	if !ok {
 		return ErrNotFound
 	}
+	s.met.follow(1)
+	defer s.met.follow(-1)
 	cursor := after
 	if cursor < 0 {
 		cursor = 0

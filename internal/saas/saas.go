@@ -10,12 +10,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 	"unicode/utf8"
 
 	"profipy/internal/analysis"
@@ -24,10 +24,12 @@ import (
 	"profipy/internal/faultmodel"
 	"profipy/internal/interp"
 	"profipy/internal/kvclient"
+	"profipy/internal/obs"
 	"profipy/internal/resultstore"
 	"profipy/internal/sandbox"
 	"profipy/internal/scanner"
 	"profipy/internal/scheduler"
+	"profipy/internal/trace"
 	"profipy/internal/workload"
 )
 
@@ -94,6 +96,7 @@ type campaignRun struct {
 	summary CampaignSummary
 	report  *analysis.Report
 	text    string
+	phases  []trace.Span
 }
 
 // JobStatus is the API view of a scheduled campaign job.
@@ -126,6 +129,7 @@ type Server struct {
 	cores     int
 	sched     *scheduler.Scheduler
 	store     *resultstore.Store
+	reg       *obs.Registry
 	// testProgressHook, when set (tests only, before serving), observes
 	// every campaign progress update after it reaches the scheduler; a
 	// blocking hook stalls the campaign, which tests use to inspect
@@ -150,6 +154,11 @@ type Options struct {
 	// there. Empty keeps the store memory-only (records and streams
 	// still work, nothing persists).
 	DataDir string
+	// Metrics is the registry every layer below the server (scheduler,
+	// campaigns, executors, result store, HTTP mux) reports into,
+	// scraped at GET /metrics. Nil gets a fresh private registry, so
+	// the server is always instrumented.
+	Metrics *obs.Registry
 }
 
 // NewServer creates a SaaS server simulating a host with the given number
@@ -172,21 +181,27 @@ func NewServerWithOptions(opt Options) (*Server, error) {
 	if opt.Cores <= 0 {
 		opt.Cores = 4
 	}
+	if opt.Metrics == nil {
+		opt.Metrics = obs.NewRegistry()
+	}
 	store, err := resultstore.Open(opt.DataDir)
 	if err != nil {
 		return nil, err
 	}
+	store.Instrument(opt.Metrics)
 	s := &Server{
 		projects:  make(map[string]*Project),
 		models:    faultmodel.NewRegistry(),
 		campaigns: make(map[string]*campaignRun),
 		cores:     opt.Cores,
 		store:     store,
+		reg:       opt.Metrics,
 	}
 	s.sched = scheduler.New(scheduler.Config{
 		Workers:    opt.Workers,
 		QueueDepth: opt.QueueDepth,
 		Retain:     opt.RetainJobs,
+		Metrics:    opt.Metrics,
 		// Journal every terminal job so /api/v1/jobs history survives
 		// restarts alongside the campaigns.
 		OnFinish: func(st scheduler.Status) { _ = s.store.AppendJob(jobView(st)) },
@@ -233,11 +248,15 @@ func (s *Server) restore(retainJobs int) {
 		if meta.Summary != nil {
 			_ = json.Unmarshal(meta.Summary, &summary)
 		}
-		s.campaigns[meta.ID] = &campaignRun{
+		run := &campaignRun{
 			summary: summary,
 			report:  &rep,
 			text:    rep.Render("campaign " + meta.ID + " (" + meta.Name + ")"),
 		}
+		if meta.Phases != nil {
+			_ = json.Unmarshal(meta.Phases, &run.phases)
+		}
+		s.campaigns[meta.ID] = run
 	}
 	// Reload terminal job snapshots: the journal is append-only, so
 	// dedupe by ID (the newest snapshot wins) and keep only the most
@@ -286,9 +305,15 @@ func (s *Server) Close() {
 // live follows). Never nil.
 func (s *Server) Store() *resultstore.Store { return s.store }
 
-// Handler returns the HTTP handler exposing the API.
+// Metrics exposes the server's metric registry (the one behind
+// GET /metrics). Never nil.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Handler returns the HTTP handler exposing the API, instrumented with
+// per-route request metrics, plus the Prometheus scrape endpoint.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("POST /api/v1/projects", s.handleCreateProject)
 	mux.HandleFunc("GET /api/v1/projects", s.handleListProjects)
 	mux.HandleFunc("POST /api/v1/faultmodels", s.handleCreateModel)
@@ -303,7 +328,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancelJob)
-	return mux
+	return instrumentHTTP(s.reg, mux)
 }
 
 func (s *Server) handleCreateProject(w http.ResponseWriter, r *http.Request) {
@@ -446,9 +471,10 @@ func (s *Server) buildCampaign(req CampaignRequest) (*campaign.Campaign, string,
 		// records from the result store: no reason to materialize the
 		// full record slice per campaign.
 		DiscardRecords: true,
+		Metrics:        s.reg,
 	}
 	if req.Shards > 0 {
-		c.Executor = executor.Sharded{Shards: req.Shards, Workers: req.ShardWorkers}
+		c.Executor = executor.Sharded{Shards: req.Shards, Workers: req.ShardWorkers, Reg: s.reg}
 	}
 	return c, proj.Name, 0, ""
 }
@@ -482,6 +508,16 @@ func (s *Server) storeCampaign(id, project, projName string, res *campaign.Resul
 	s.mu.Unlock()
 }
 
+// attachPhases records a finished campaign's phase timeline on its
+// stored run (no-op for unknown IDs).
+func (s *Server) attachPhases(id string, phases []trace.Span) {
+	s.mu.Lock()
+	if run, ok := s.campaigns[id]; ok {
+		run.phases = phases
+	}
+	s.mu.Unlock()
+}
+
 // handleRunCampaign validates the request synchronously, enqueues the
 // campaign on the scheduler, and returns 202 with a job ID. With
 // ?wait=true it blocks until the job finishes and answers like the old
@@ -503,7 +539,12 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 	// after the task closure exists; the buffered channel hands it in.
 	jobIDCh := make(chan string, 1)
 	task := func(ctx context.Context, report func(scheduler.Progress)) (any, error) {
-		campID := campaignIDFor(<-jobIDCh)
+		jobID := <-jobIDCh
+		campID := campaignIDFor(jobID)
+		// Every log line below this point carries the job and campaign
+		// IDs, so one campaign's records can be grepped out of a busy
+		// daemon's output.
+		ctx = obs.WithLog(ctx, "job", jobID, "campaign", campID)
 		c.OnProgress = func(p campaign.Progress) {
 			report(scheduler.Progress{Phase: p.Phase, Done: p.Done, Total: p.Total})
 			if s.testProgressHook != nil {
@@ -520,7 +561,7 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 			// The campaign still runs and reports from memory, but its
 			// records endpoints will 404 — say so where an operator
 			// can see it.
-			log.Printf("saas: campaign %s: record persistence unavailable: %v", campID, werr)
+			obs.Log(ctx).Warn("record persistence unavailable", "err", werr)
 		} else {
 			c.Sink = executor.SinkFunc(func(idx int, rec analysis.Record) {
 				_ = writer.Append(rec)
@@ -534,21 +575,40 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 					status = resultstore.StatusCanceled
 				}
 				if aerr := writer.Abort(status); aerr != nil {
-					log.Printf("saas: campaign %s: record persistence: %v", campID, aerr)
+					obs.Log(ctx).Error("record persistence failed", "err", aerr)
 				}
 			}
 			return nil, err
 		}
+		storeStart := time.Now()
 		s.storeCampaign(campID, req.Project, projName, res)
+		// The "store" phase (report rendering + in-memory filing) extends
+		// the campaign's own timeline; its offsets continue from the last
+		// recorded phase so the whole span set shares one time base.
+		base := int64(0)
+		for _, sp := range res.Phases {
+			if sp.EndNS > base {
+				base = sp.EndNS
+			}
+		}
+		res.Phases = append(res.Phases, trace.Span{
+			Name: "store", Component: "saas",
+			StartNS: base, EndNS: base + time.Since(storeStart).Nanoseconds(),
+		})
+		s.attachPhases(campID, res.Phases)
 		if writer != nil {
+			_ = writer.SetPhases(res.Phases)
 			// Finish surfaces the stream's first write error: the report
 			// itself is safe in memory, but clients paging the stored
 			// records would see silently truncated data, so make the
 			// failure loud.
 			if ferr := writer.Finish(resultstore.StatusDone, summaryFor(campID, req.Project, res), res.Report); ferr != nil {
-				log.Printf("saas: campaign %s: record persistence: %v", campID, ferr)
+				obs.Log(ctx).Error("record persistence failed", "err", ferr)
 			}
 		}
+		obs.Log(ctx).Info("campaign done",
+			"points", res.Report.Total, "covered", res.Report.Covered,
+			"failures", res.Report.Failures, "records", res.Mutated+res.Injected)
 		return campID, nil
 	}
 	jobID, err := s.sched.Submit(req.Project, task)
@@ -653,6 +713,14 @@ func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// campaignView is the GET /campaigns/{id} response: the full analysis
+// report (flattened, so existing clients decoding into analysis.Report
+// are unaffected) plus the machine-readable phase timeline.
+type campaignView struct {
+	*analysis.Report
+	Phases []trace.Span `json:"phases,omitempty"`
+}
+
 func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	run, ok := s.campaigns[r.PathValue("id")]
@@ -661,7 +729,7 @@ func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such campaign")
 		return
 	}
-	writeJSON(w, http.StatusOK, run.report)
+	writeJSON(w, http.StatusOK, campaignView{Report: run.report, Phases: run.phases})
 }
 
 func (s *Server) handleGetCampaignText(w http.ResponseWriter, r *http.Request) {
@@ -755,7 +823,7 @@ func (s *Server) handleStreamCampaign(w http.ResponseWriter, r *http.Request) {
 	// completion for the client; leave a server-side trace. Client
 	// disconnects and shutdown cancellation are normal stream ends.
 	if err != nil && !errors.Is(err, context.Canceled) {
-		log.Printf("saas: campaign %s: record stream: %v", id, err)
+		obs.Log(r.Context()).Warn("record stream truncated", "campaign", id, "err", err)
 	}
 }
 

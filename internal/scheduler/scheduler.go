@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"profipy/internal/obs"
 )
 
 // State is a job lifecycle state.
@@ -85,6 +87,10 @@ type Config struct {
 	// result store so job history survives restarts. Called outside
 	// scheduler locks; must be safe for concurrent use.
 	OnFinish func(Status)
+	// Metrics, when set, registers the scheduler's metric families
+	// (queue depth, running/finished jobs, job and phase latency) on
+	// the registry and keeps them current.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +111,7 @@ type job struct {
 	id   string
 	name string
 	task Task
+	met  *metrics // shared with the scheduler; nil-safe
 
 	mu         sync.Mutex
 	state      State
@@ -162,6 +169,7 @@ func (j *job) report(p Progress) {
 	if p.Phase != j.prog.Phase {
 		if j.prog.Phase != "" {
 			j.phaseMS[j.prog.Phase] += time.Since(j.phaseStart).Milliseconds()
+			j.met.phase(j.prog.Phase, time.Since(j.phaseStart))
 		}
 		j.phaseStart = time.Now()
 		j.prog = p
@@ -181,6 +189,7 @@ func (j *job) report(p Progress) {
 // worker pops and skips the corpse.
 type Scheduler struct {
 	cfg Config
+	met *metrics // nil when Config.Metrics is unset
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signals workers: pending grew or closed
@@ -201,6 +210,7 @@ func New(cfg Config) *Scheduler {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
 		cfg:        cfg,
+		met:        newMetrics(cfg.Metrics),
 		jobs:       make(map[string]*job),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -234,6 +244,7 @@ func (s *Scheduler) Submit(name string, t Task) (string, error) {
 		id:       fmt.Sprintf("job-%d", s.nextID),
 		name:     name,
 		task:     t,
+		met:      s.met,
 		state:    Queued,
 		phaseMS:  make(map[string]int64),
 		enqueued: time.Now(),
@@ -244,6 +255,7 @@ func (s *Scheduler) Submit(name string, t Task) (string, error) {
 	s.pending = append(s.pending, j)
 	s.cond.Signal()
 	s.mu.Unlock()
+	s.met.enqueued()
 	return j.id, nil
 }
 
@@ -290,6 +302,7 @@ func (s *Scheduler) Cancel(id string) (Status, bool) {
 	for i, p := range s.pending {
 		if p == j {
 			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			s.met.dequeued(1)
 			break
 		}
 	}
@@ -342,6 +355,7 @@ func (s *Scheduler) Close() {
 	s.pending = nil
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.met.dequeued(len(drained))
 	for _, j := range drained {
 		j.mu.Lock()
 		canceled := false
@@ -353,8 +367,11 @@ func (s *Scheduler) Close() {
 			canceled = true
 		}
 		j.mu.Unlock()
-		if canceled && s.cfg.OnFinish != nil {
-			s.cfg.OnFinish(j.status())
+		if canceled {
+			s.met.terminal(j.status())
+			if s.cfg.OnFinish != nil {
+				s.cfg.OnFinish(j.status())
+			}
 		}
 	}
 	s.baseCancel()
@@ -375,6 +392,7 @@ func (s *Scheduler) worker() {
 		j := s.pending[0]
 		s.pending = s.pending[1:]
 		s.mu.Unlock()
+		s.met.dequeued(1)
 		s.runJob(j)
 	}
 }
@@ -402,12 +420,14 @@ func (s *Scheduler) runJob(j *job) {
 	j.phaseStart = j.started
 	j.cancel = cancel
 	j.mu.Unlock()
+	s.met.started()
 
 	result, err := j.task(ctx, j.report)
 
 	j.mu.Lock()
 	if j.prog.Phase != "" {
 		j.phaseMS[j.prog.Phase] += time.Since(j.phaseStart).Milliseconds()
+		j.met.phase(j.prog.Phase, time.Since(j.phaseStart))
 	}
 	j.finished = time.Now()
 	j.cancel = nil
@@ -427,9 +447,11 @@ func (s *Scheduler) runJob(j *job) {
 	s.finished(j)
 }
 
-// finished runs the terminal-state bookkeeping for a job: retention
-// eviction, then the OnFinish journal hook (outside all locks).
+// finished runs the terminal-state bookkeeping for a job: metrics,
+// retention eviction, then the OnFinish journal hook (outside all
+// locks).
 func (s *Scheduler) finished(j *job) {
+	s.met.terminal(j.status())
 	s.evict()
 	if s.cfg.OnFinish != nil {
 		s.cfg.OnFinish(j.status())

@@ -40,13 +40,36 @@ func (r *Recorder) Record(s Span) {
 	r.spans = append(r.spans, s)
 }
 
-// Spans returns a copy of the recorded spans in start order.
+// Spans returns a copy of the recorded spans in deterministic order:
+// by StartNS, ties broken by Name. The tie-break matters once several
+// recorders merge — concurrent shard recorders insert in arrival
+// order, and same-start spans must still render identically on every
+// run.
 func (r *Recorder) Spans() []Span {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := append([]Span(nil), r.spans...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].StartNS < out[j].StartNS })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
+}
+
+// Merge folds another recorder's spans into r (r is unchanged when o
+// is nil or r itself). Per-shard recorders merge into the campaign's
+// recorder this way; Spans' deterministic ordering makes the combined
+// timeline independent of merge order.
+func (r *Recorder) Merge(o *Recorder) {
+	if o == nil || o == r {
+		return
+	}
+	spans := o.Spans()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = append(r.spans, spans...)
 }
 
 // Len returns the number of recorded spans.

@@ -22,6 +22,60 @@ func TestRecorderOrdersSpans(t *testing.T) {
 	}
 }
 
+func TestSpansTieBreakByName(t *testing.T) {
+	// Insert same-start spans in two different orders; Spans must give
+	// the same sequence for both.
+	mk := func(names ...string) []Span {
+		r := NewRecorder()
+		for _, n := range names {
+			r.Record(Span{Name: n, StartNS: 100, EndNS: 200})
+		}
+		r.Record(Span{Name: "first", StartNS: 0, EndNS: 50})
+		return r.Spans()
+	}
+	a := mk("shard-2", "shard-0", "shard-1")
+	b := mk("shard-1", "shard-2", "shard-0")
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("lens = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	want := []string{"first", "shard-0", "shard-1", "shard-2"}
+	for i, n := range want {
+		if a[i].Name != n {
+			t.Errorf("span %d = %q, want %q", i, a[i].Name, n)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	a.Record(Span{Name: "scan", StartNS: 0, EndNS: 10})
+	b.Record(Span{Name: "shard-1", StartNS: 5, EndNS: 20})
+	b.Record(Span{Name: "shard-0", StartNS: 5, EndNS: 15})
+	a.Merge(b)
+	a.Merge(nil) // no-op
+	a.Merge(a)   // self-merge must not duplicate or deadlock
+	if a.Len() != 3 {
+		t.Fatalf("len = %d, want 3", a.Len())
+	}
+	spans := a.Spans()
+	got := []string{spans[0].Name, spans[1].Name, spans[2].Name}
+	want := []string{"scan", "shard-0", "shard-1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	// The source recorder is untouched.
+	if b.Len() != 2 {
+		t.Errorf("source len = %d, want 2", b.Len())
+	}
+}
+
 func TestJSONDump(t *testing.T) {
 	r := NewRecorder()
 	r.Record(Span{Name: "GET /v2/keys/a", Component: "urllib", StartNS: 0, EndNS: 2_000_000})

@@ -15,14 +15,29 @@ import (
 	"profipy/internal/analysis"
 	"profipy/internal/executor"
 	"profipy/internal/kvclient"
+	"profipy/internal/obs"
 )
 
 // benchPipelineCampaign runs the §V-A campaign under an executor and reports
-// how many experiment records flowed through the pipeline.
-func benchPipelineCampaign(tb testing.TB, ex executor.Executor) int {
+// how many experiment records flowed through the pipeline. A non-nil
+// registry instruments the campaign and executor exactly as the saas
+// layer does, so the -metrics engine variants measure observability
+// overhead against their bare twins.
+func benchPipelineCampaign(tb testing.TB, ex executor.Executor, reg *obs.Registry) int {
 	tb.Helper()
 	rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
 	c := kvclient.CampaignA(rt, 101)
+	if reg != nil {
+		c.Metrics = reg
+		if sh, ok := ex.(executor.Sharded); ok {
+			sh.Reg = reg
+			ex = sh
+		}
+		if lo, ok := ex.(executor.Local); ok {
+			lo.Reg = reg
+			ex = lo
+		}
+	}
 	c.Executor = ex
 	c.DiscardRecords = true // measure the streaming path, not slice growth
 	records := 0
@@ -34,14 +49,20 @@ func benchPipelineCampaign(tb testing.TB, ex executor.Executor) int {
 }
 
 // pipelineEngines are the executor geometries the benchmarks compare.
+// The -metrics variant duplicates one geometry with full campaign +
+// executor instrumentation attached; comparing it against its bare twin
+// in BENCH_pipeline.json is the observability-overhead gate (<2%
+// records/s budget).
 var pipelineEngines = []struct {
 	name string
 	ex   executor.Executor
+	reg  *obs.Registry
 }{
-	{"local", executor.Local{Workers: 3}},
-	{"sharded-2x2", executor.Sharded{Shards: 2, Workers: 2}},
-	{"sharded-4x1", executor.Sharded{Shards: 4}},
-	{"sharded-8x2", executor.Sharded{Shards: 8, Workers: 2}},
+	{"local", executor.Local{Workers: 3}, nil},
+	{"sharded-2x2", executor.Sharded{Shards: 2, Workers: 2}, nil},
+	{"sharded-4x1", executor.Sharded{Shards: 4}, nil},
+	{"sharded-8x2", executor.Sharded{Shards: 8, Workers: 2}, nil},
+	{"sharded-2x2-metrics", executor.Sharded{Shards: 2, Workers: 2}, obs.NewRegistry()},
 }
 
 // BenchmarkPipelineExecutors measures end-to-end campaign record
@@ -51,7 +72,7 @@ func BenchmarkPipelineExecutors(b *testing.B) {
 		b.Run(eng.name, func(b *testing.B) {
 			records := 0
 			for i := 0; i < b.N; i++ {
-				records = benchPipelineCampaign(b, eng.ex)
+				records = benchPipelineCampaign(b, eng.ex, eng.reg)
 			}
 			b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
 		})
@@ -150,7 +171,7 @@ func TestEmitPipelineBenchJSON(t *testing.T) {
 		records := 0
 		br := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				records = benchPipelineCampaign(b, eng.ex)
+				records = benchPipelineCampaign(b, eng.ex, eng.reg)
 			}
 		})
 		row := pipelineBenchResult{

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# metrics-smoke boots profipyd, runs a demo campaign through the API,
+# scrapes /metrics, and fails when an expected metric family is missing
+# or the exposition output does not parse. It also checks the pprof
+# debug listener answers. CI runs this as its observability gate.
+set -euo pipefail
+
+ADDR=127.0.0.1:18080
+DEBUG_ADDR=127.0.0.1:16060
+WORKDIR=$(mktemp -d)
+BIN="$WORKDIR/profipyd"
+SCRAPE="$WORKDIR/metrics.txt"
+
+cleanup() {
+  [[ -n "${PID:-}" ]] && kill "$PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== build profipyd"
+go build -o "$BIN" ./cmd/profipyd
+
+echo "== boot profipyd on $ADDR (pprof on $DEBUG_ADDR)"
+"$BIN" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -data-dir "$WORKDIR/data" &
+PID=$!
+
+for _ in $(seq 1 100); do
+  curl -fs "http://$ADDR/api/v1/projects" >/dev/null 2>&1 && break
+  kill -0 "$PID" 2>/dev/null || { echo "profipyd exited during startup"; exit 1; }
+  sleep 0.1
+done
+curl -fs "http://$ADDR/api/v1/projects" >/dev/null
+
+echo "== run a demo campaign (sharded, synchronous)"
+curl -fs -X POST "http://$ADDR/api/v1/campaigns?wait=true" \
+  -H 'Content-Type: application/json' -d '{
+    "project": "demo-python-etcd",
+    "entry": "Workload",
+    "env": "kvclient",
+    "seed": 42,
+    "sampleN": 5,
+    "shards": 2,
+    "specs": [{
+      "name": "omit-write",
+      "type": "MFC",
+      "dsl": "change {\n\t$CALL{name=osio.WriteFile,osio.Remove}(...)\n} into {\n}"
+    }]
+  }' >/dev/null
+
+echo "== scrape /metrics"
+curl -fs "http://$ADDR/metrics" > "$SCRAPE"
+
+echo "== check expected metric families"
+missing=0
+for fam in \
+  profipy_http_requests_total \
+  profipy_http_request_seconds \
+  profipy_scheduler_queue_depth \
+  profipy_scheduler_jobs_running \
+  profipy_scheduler_jobs_finished_total \
+  profipy_scheduler_job_duration_seconds \
+  profipy_campaign_runs_total \
+  profipy_campaign_experiments_total \
+  profipy_campaign_phase_seconds \
+  profipy_executor_records_total \
+  profipy_executor_experiment_seconds \
+  profipy_executor_shard_seconds \
+  profipy_executor_workers_busy \
+  profipy_resultstore_appends_total \
+  profipy_resultstore_bytes_total \
+  profipy_resultstore_fsyncs_total \
+  profipy_resultstore_follow_subscribers
+do
+  if ! grep -q "^# TYPE $fam " "$SCRAPE"; then
+    echo "MISSING family: $fam"
+    missing=1
+  fi
+done
+[[ $missing -eq 0 ]] || { echo "--- scrape ---"; cat "$SCRAPE"; exit 1; }
+
+echo "== check exposition format parses"
+# Every line is a comment or `name[{labels}] value`; values are Go
+# floats or +Inf/-Inf/NaN.
+bad=$(grep -vE '^#' "$SCRAPE" | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN)$' || true)
+if [[ -n "$bad" ]]; then
+  echo "unparseable exposition lines:"
+  echo "$bad"
+  exit 1
+fi
+# Histograms must carry the +Inf bucket.
+for h in profipy_campaign_phase_seconds profipy_executor_shard_seconds; do
+  grep -q "^${h}_bucket{.*le=\"+Inf\"}" "$SCRAPE" || { echo "missing +Inf bucket for $h"; exit 1; }
+done
+
+echo "== check pprof debug listener"
+curl -fs "http://$DEBUG_ADDR/debug/pprof/cmdline" >/dev/null
+
+echo "metrics smoke OK ($(grep -c '^# TYPE' "$SCRAPE") families)"
