@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_PKGS = ./internal/scanner/ ./internal/pattern/ ./internal/mutator/ ./internal/interp/
 
-.PHONY: build vet test race shuffle cover fuzz-smoke golden-update bench bench-exec bench-pipeline bench-all metrics-smoke
+.PHONY: build vet test race shuffle cover fuzz-smoke golden-update bench bench-exec bench-pipeline bench-all metrics-smoke worker-chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,13 @@ bench-pipeline:
 # not parse, or the pprof debug listener is unreachable.
 metrics-smoke:
 	./scripts/metrics-smoke.sh
+
+# Fault-tolerance gate: boots profipyd plus two profipy-worker
+# processes, SIGKILLs one mid-campaign, and fails unless the surviving
+# worker finishes the campaign with records byte-identical to an
+# in-process baseline run.
+worker-chaos-smoke:
+	./scripts/worker-chaos-smoke.sh
 
 # Everything, including the paper-evaluation campaign benchmarks at the
 # repository root (slow).

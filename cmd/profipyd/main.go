@@ -75,6 +75,9 @@ func run(ctx context.Context, args []string) error {
 	retain := fs.Int("retain", 256, "finished jobs kept for polling")
 	dataDir := fs.String("data-dir", "", "persistent result store directory (empty = in-memory only)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful HTTP drain deadline on SIGINT/SIGTERM")
+	leaseTTL := fs.Duration("lease-ttl", 0, "remote worker shard lease TTL before re-dispatch (0 = 15s default)")
+	heartbeat := fs.Duration("heartbeat", 0, "heartbeat cadence suggested to remote workers (0 = lease-ttl/3)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline for non-streaming API routes (0 = 30s default, negative disables)")
 	debugAddr := fs.String("debug-addr", "", "optional pprof listen address (e.g. 127.0.0.1:6060); empty disables")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	logJSON := fs.Bool("log-json", false, "emit logs as JSON instead of text")
@@ -87,6 +90,7 @@ func run(ctx context.Context, args []string) error {
 	srv, err := saas.NewServerWithOptions(saas.Options{
 		Cores: *cores, Workers: *workers, QueueDepth: *queue, RetainJobs: *retain,
 		DataDir: *dataDir,
+		LeaseTTL: *leaseTTL, Heartbeat: *heartbeat, RequestTimeout: *reqTimeout,
 	})
 	if err != nil {
 		return err
@@ -162,7 +166,17 @@ func serveDebug(addr string) (func(), error) {
 // scheduler, and flush/seal the result store. Records that reached the
 // store before shutdown survive a subsequent restart.
 func serve(ctx context.Context, srv *saas.Server, ln net.Listener, drain time.Duration) error {
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// No WriteTimeout: /stream responses are deliberately long-lived
+	// and bounded by campaign lifecycle, not a wall clock. Reads are
+	// bounded so a stalled or malicious client can't pin a connection:
+	// headers must arrive promptly, bodies (project uploads, worker
+	// record batches) within a generous minute.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

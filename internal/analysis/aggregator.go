@@ -25,6 +25,7 @@ type Aggregator struct {
 	available   int
 	logged      int
 	propagated  int
+	watchdog    int
 	modes       map[string]int
 	byType      map[string]*TypeStats
 	byComp      map[string]*TypeStats
@@ -91,6 +92,9 @@ func (a *Aggregator) Add(rec Record) {
 	if rec.Result != nil && !rec.Unavailable() {
 		a.available++
 	}
+	if rec.WatchdogKilled() {
+		a.watchdog++
+	}
 	for _, act := range rec.Injections {
 		if a.triggers == nil {
 			a.triggers = map[string]*TriggerStats{}
@@ -140,6 +144,7 @@ func (a *Aggregator) Merge(b *Aggregator) {
 	a.available += b.available
 	a.logged += b.logged
 	a.propagated += b.propagated
+	a.watchdog += b.watchdog
 	for k, v := range b.modes {
 		a.modes[k] += v
 	}
@@ -182,6 +187,7 @@ func (a *Aggregator) Report() *Report {
 		Unavailable:        a.unavailable,
 		LoggedFailures:     a.logged,
 		PropagatedFailures: a.propagated,
+		WatchdogTimeouts:   a.watchdog,
 		Modes:              make(map[string]int, len(a.modes)),
 		ByType:             make(map[string]*TypeStats, len(a.byType)),
 		ByComponent:        make(map[string]*TypeStats, len(a.byComp)),

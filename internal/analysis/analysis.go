@@ -106,6 +106,26 @@ type Report struct {
 	// how often its trigger fired, summed over all experiments. Nil
 	// for purely compile-time campaigns.
 	Triggers map[string]*TriggerStats `json:"triggers,omitempty"`
+
+	// WatchdogTimeouts counts experiments with at least one round
+	// killed by the wall-clock watchdog (workload.Config.WallBudgetNS):
+	// real hangs the virtual clock could not catch. Omitted when zero,
+	// which keeps watchdog-free campaigns byte-identical to before.
+	WatchdogTimeouts int `json:"watchdogTimeouts,omitempty"`
+}
+
+// WatchdogKilled reports whether any round of the experiment was ended
+// by the wall-clock watchdog.
+func (r Record) WatchdogKilled() bool {
+	if r.Result == nil {
+		return false
+	}
+	for _, rr := range r.Result.Rounds {
+		if rr.Watchdog {
+			return true
+		}
+	}
+	return false
 }
 
 // TriggerStats is the aggregated runtime-injector activity of one

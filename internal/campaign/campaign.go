@@ -14,7 +14,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"profipy/internal/analysis"
@@ -22,7 +21,6 @@ import (
 	"profipy/internal/executor"
 	"profipy/internal/faultmodel"
 	"profipy/internal/interp"
-	"profipy/internal/mutator"
 	"profipy/internal/obs"
 	"profipy/internal/pattern"
 	"profipy/internal/plan"
@@ -238,25 +236,22 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 	res.CovTime = time.Since(covStart)
 	phaseSpan("coverage", covStart)
 
-	execPoints := pl.Points
-	if c.ReducePlan {
-		execPoints = coverage.Reduce(pl.Points, covered)
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
 	}
 
 	// --- Execution phase (streaming pipeline) ---
-	// A faultload can mix both injection kinds: compile-time specs
-	// mutate source (and derive a one-file-recompiled program), runtime
-	// specs attach an injector table to the unchanged base program.
-	// Records no longer accumulate into a slice first: the executor
-	// streams each record once into the online aggregator, the caller's
-	// sink and (unless discarded) the plan-ordered collector.
-	models, rtFaults, err := compileByName(c.Faultload)
+	// The Runner is the campaign's prepared execution state: reduced
+	// plan, compiled faultload, coverage verdicts. Remote workers build
+	// the very same Runner from the campaign spec, so experiments are
+	// interchangeable between this process and the fleet. Records
+	// stream once each into the online aggregator, the caller's sink
+	// and (unless discarded) the plan-ordered collector.
+	runner, err := c.buildRunner(cache, pl, covered, wcfg)
 	if err != nil {
 		return nil, err
 	}
+	execPoints := runner.Points()
 	agg, err := analysis.NewAggregator(c.Analysis)
 	if err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
@@ -273,6 +268,13 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 	}
 	c.progress(PhaseExecute, 0, len(execPoints))
 	execStart := time.Now()
+	// The remote executor needs the resolved plan context — coverage
+	// verdicts and the exec-point list — to complete the campaign spec
+	// its workers rebuild their Runners from, and to fingerprint the
+	// plan so a worker that derived a different plan refuses the shard.
+	if rm, ok := exec.(*executor.Remote); ok {
+		rm.SetPlanContext(covered, execPoints)
+	}
 	// Under the sharded engine, each shard contributes its own span to
 	// the campaign timeline (offsets are rebased from Run start to
 	// campaign start). The recorder is concurrency-safe, matching the
@@ -291,12 +293,11 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 		}
 		exec = sh
 	}
-	var mutated, injected atomic.Int64
 	experiment := func(i int) analysis.Record {
 		if ctx.Err() != nil {
 			return analysis.Record{Point: execPoints[i], FaultType: pl.TypeOf(execPoints[i])}
 		}
-		return c.runExperiment(cache, wcfg, execPoints[i], models, rtFaults, pl, covered, int64(i), &mutated, &injected)
+		return runner.Experiment(i)
 	}
 	done := 0
 	sink := executor.SinkFunc(func(idx int, rec analysis.Record) {
@@ -325,10 +326,17 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 	if collect != nil {
 		res.Records = collect.Records()
 	}
-	res.Mutated = int(mutated.Load())
-	res.Injected = int(injected.Load())
-	if wcfg.Program != nil {
-		met.cache(wcfg.Program.CacheStats())
+	res.Mutated, res.Injected = runner.Counts()
+	// Remote execution runs experiments in worker processes; their path
+	// kinds arrive with the record envelopes instead of this process's
+	// Runner (which only counts locally executed fallback shards).
+	if rm, ok := exec.(*executor.Remote); ok {
+		rmMut, rmInj := rm.Counts()
+		res.Mutated += rmMut
+		res.Injected += rmInj
+	}
+	if prog := runner.Program(); prog != nil {
+		met.cache(prog.CacheStats())
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
@@ -344,89 +352,6 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 	phaseSpan("aggregate", aggStart)
 	res.Phases = spans.Spans()
 	return res, nil
-}
-
-// runExperiment executes one fault injection experiment. Compile-time
-// points generate the mutated version (from the campaign's shared parse
-// cache) and derive the experiment's compiled program (base units
-// shared, mutated file recompiled — memoized by content hash). Runtime
-// points skip mutation entirely: the same base program executes under
-// an injector table seeded for this experiment — different injector
-// table, zero recompilation. Either way a container is deployed, the
-// two-round workload runs, results are collected, the container is
-// torn down.
-func (c *Campaign) runExperiment(cache *scanner.ProjectCache, wcfg workload.Config,
-	pt scanner.InjectionPoint, models map[string]*pattern.MetaModel,
-	rtFaults map[string]*runtimefault.Fault, pl *plan.Plan,
-	covered map[string]bool, idx int64, mutated, injected *atomic.Int64) analysis.Record {
-
-	rec := analysis.Record{Point: pt, FaultType: pl.TypeOf(pt), Covered: covered[pt.ID()]}
-	seed := c.Seed + idx + 1
-
-	var eng *runtimefault.Engine
-	img := c.Image
-	img.Files = c.Files
-
-	if rf, ok := rtFaults[pt.Spec]; ok {
-		// Runtime injection: bind the fault's site selector to the
-		// point's enclosing function (injection granularity is the
-		// function entered at run time) and draw all trigger/corruption
-		// randomness from this experiment's seed.
-		fault := *rf
-		fault.Site = pt.Func
-		var err error
-		eng, err = runtimefault.NewEngine([]runtimefault.Fault{fault}, seed)
-		if err != nil {
-			return rec
-		}
-		wcfg.Injector = eng
-		injected.Add(1)
-	} else {
-		mm, ok := models[pt.Spec]
-		if !ok {
-			return rec
-		}
-		pf, err := cache.Get(pt.File)
-		if err != nil {
-			return rec
-		}
-		mut, err := mutator.ApplyParsed(pf, mm, pt, mutator.Options{Triggered: true})
-		if err != nil {
-			return rec
-		}
-		// Copy-on-write deploy: the container shares the campaign's
-		// base file layer and shadows just the mutated file through the
-		// overlay, instead of copying the whole file map per experiment.
-		img.Overlay = map[string][]byte{pt.File: mut.Source}
-		if wcfg.Program != nil {
-			if prog, perr := wcfg.Program.WithFiles(map[string][]byte{pt.File: mut.Source}); perr == nil {
-				wcfg.Program = prog
-			} else {
-				// A mutated source the compiler rejects would not
-				// tree-walk load either; fall back so the error surfaces
-				// the same way (an infrastructure error on this
-				// experiment only).
-				wcfg.Program = nil
-			}
-		}
-		mutated.Add(1)
-	}
-
-	ctr := c.Runtime.CreateSeeded(img, seed)
-	defer func() { _ = c.Runtime.Destroy(ctr) }()
-	if c.TraceHook != nil {
-		c.TraceHook(ctr)
-	}
-
-	result, err := workload.Run(ctr, wcfg)
-	if err != nil {
-		return rec
-	}
-	rec.Result = result
-	if eng != nil {
-		rec.Injections = eng.Report()
-	}
-	return rec
 }
 
 // compileBase builds the campaign's compiled base program from the

@@ -1,0 +1,210 @@
+package campaign
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"profipy/internal/analysis"
+	"profipy/internal/coverage"
+	"profipy/internal/interp"
+	"profipy/internal/mutator"
+	"profipy/internal/pattern"
+	"profipy/internal/plan"
+	"profipy/internal/remote"
+	"profipy/internal/runtimefault"
+	"profipy/internal/scanner"
+	"profipy/internal/workload"
+)
+
+// Experiment kinds reported by Runner.ExperimentDetail, shared with
+// the remote wire protocol so workers ship them verbatim.
+const (
+	KindMutated  = remote.KindMutated
+	KindInjected = remote.KindInjected
+	KindError    = remote.KindError
+)
+
+// Runner is a campaign's prepared execution state: the scanned plan,
+// the compiled base program, the compiled faultload and the coverage
+// verdicts — everything needed to run any experiment of the campaign by
+// plan index, independently of the workflow that produced it. The
+// campaign's own execute phase runs through a Runner, and so does a
+// remote worker that received the campaign spec and a shard lease: both
+// sides derive the Runner deterministically from the same inputs, which
+// is what keeps records byte-identical across process boundaries.
+//
+// Experiment seeds derive from the campaign seed plus the plan index,
+// never from scheduling, so any subset of indices can run anywhere, in
+// any order, any number of times, and produce the same record bytes.
+type Runner struct {
+	c        *Campaign
+	cache    *scanner.ProjectCache
+	pl       *plan.Plan
+	points   []scanner.InjectionPoint
+	covered  map[string]bool
+	wcfg     workload.Config
+	models   map[string]*pattern.MetaModel
+	rtFaults map[string]*runtimefault.Fault
+
+	mutated  atomic.Int64
+	injected atomic.Int64
+}
+
+// NewRunner prepares a campaign for execution without running its
+// workflow: scan, plan, deterministic sampling, base-program compile
+// and faultload compile. covered is the coverage verdict map produced
+// by the campaign's coverage phase (remote workers receive it with the
+// campaign spec; passing nil marks every point uncovered and, with
+// ReducePlan, selects no points). The campaign's own workflow builds
+// its Runner through the same code path, so a worker-side Runner is the
+// control-plane Runner by construction.
+func NewRunner(c *Campaign, covered map[string]bool) (*Runner, error) {
+	if len(c.Files) == 0 {
+		return nil, fmt.Errorf("campaign %s: no target files", c.Name)
+	}
+	if c.Runtime == nil {
+		return nil, fmt.Errorf("campaign %s: no runtime", c.Name)
+	}
+	cache := scanner.NewProjectCache(c.scanSubset())
+	pl, err := plan.BuildFromCache(cache, c.Faultload)
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: scan: %w", c.Name, err)
+	}
+	if c.SampleN > 0 {
+		pl = pl.Sample(c.SampleN, c.Seed)
+	}
+	return c.prepareRunner(cache, pl, covered)
+}
+
+// prepareRunner compiles the base program and builds the Runner from an
+// already-scanned plan.
+func (c *Campaign) prepareRunner(cache *scanner.ProjectCache, pl *plan.Plan, covered map[string]bool) (*Runner, error) {
+	wcfg := c.Workload
+	wcfg.Program = c.compileBase(cache)
+	if wcfg.Metrics == nil {
+		wcfg.Metrics = c.Metrics
+	}
+	return c.buildRunner(cache, pl, covered, wcfg)
+}
+
+// buildRunner assembles a Runner around an already-prepared workload
+// config (the campaign workflow compiles the base program during its
+// compile phase and reuses it here): reduce the plan to covered points
+// when requested and compile the faultload into its execution forms.
+func (c *Campaign) buildRunner(cache *scanner.ProjectCache, pl *plan.Plan, covered map[string]bool, wcfg workload.Config) (*Runner, error) {
+	points := pl.Points
+	if c.ReducePlan {
+		points = coverage.Reduce(pl.Points, covered)
+	}
+	models, rtFaults, err := compileByName(c.Faultload)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		c: c, cache: cache, pl: pl, points: points, covered: covered,
+		wcfg: wcfg, models: models, rtFaults: rtFaults,
+	}, nil
+}
+
+// Len returns the number of experiments (post-reduction plan points).
+func (r *Runner) Len() int { return len(r.points) }
+
+// Points returns the experiments' injection points in plan order.
+// Callers must not mutate the slice.
+func (r *Runner) Points() []scanner.InjectionPoint { return r.points }
+
+// Counts reports how many experiments ran the compile-time mutation
+// path and the runtime injection path so far.
+func (r *Runner) Counts() (mutated, injected int) {
+	return int(r.mutated.Load()), int(r.injected.Load())
+}
+
+// Experiment runs the experiment at plan index i and returns its
+// record. Safe for concurrent calls.
+func (r *Runner) Experiment(i int) analysis.Record {
+	rec, _ := r.ExperimentDetail(i)
+	return rec
+}
+
+// ExperimentDetail runs the experiment at plan index i and additionally
+// reports which execution path it took (KindMutated, KindInjected or
+// KindError) — remote workers ship the kind alongside the record so the
+// control plane can account injection kinds without re-deriving them.
+func (r *Runner) ExperimentDetail(i int) (analysis.Record, string) {
+	pt := r.points[i]
+	rec := analysis.Record{Point: pt, FaultType: r.pl.TypeOf(pt), Covered: r.covered[pt.ID()]}
+	seed := r.c.Seed + int64(i) + 1
+	wcfg := r.wcfg
+
+	var eng *runtimefault.Engine
+	img := r.c.Image
+	img.Files = r.c.Files
+	kind := KindError
+
+	if rf, ok := r.rtFaults[pt.Spec]; ok {
+		// Runtime injection: bind the fault's site selector to the
+		// point's enclosing function (injection granularity is the
+		// function entered at run time) and draw all trigger/corruption
+		// randomness from this experiment's seed.
+		fault := *rf
+		fault.Site = pt.Func
+		var err error
+		eng, err = runtimefault.NewEngine([]runtimefault.Fault{fault}, seed)
+		if err != nil {
+			return rec, KindError
+		}
+		wcfg.Injector = eng
+		r.injected.Add(1)
+		kind = KindInjected
+	} else {
+		mm, ok := r.models[pt.Spec]
+		if !ok {
+			return rec, KindError
+		}
+		pf, err := r.cache.Get(pt.File)
+		if err != nil {
+			return rec, KindError
+		}
+		mut, err := mutator.ApplyParsed(pf, mm, pt, mutator.Options{Triggered: true})
+		if err != nil {
+			return rec, KindError
+		}
+		// Copy-on-write deploy: the container shares the campaign's
+		// base file layer and shadows just the mutated file through the
+		// overlay, instead of copying the whole file map per experiment.
+		img.Overlay = map[string][]byte{pt.File: mut.Source}
+		if wcfg.Program != nil {
+			if prog, perr := wcfg.Program.WithFiles(map[string][]byte{pt.File: mut.Source}); perr == nil {
+				wcfg.Program = prog
+			} else {
+				// A mutated source the compiler rejects would not
+				// tree-walk load either; fall back so the error surfaces
+				// the same way (an infrastructure error on this
+				// experiment only).
+				wcfg.Program = nil
+			}
+		}
+		r.mutated.Add(1)
+		kind = KindMutated
+	}
+
+	ctr := r.c.Runtime.CreateSeeded(img, seed)
+	defer func() { _ = r.c.Runtime.Destroy(ctr) }()
+	if r.c.TraceHook != nil {
+		r.c.TraceHook(ctr)
+	}
+
+	result, err := workload.Run(ctr, wcfg)
+	if err != nil {
+		return rec, kind
+	}
+	rec.Result = result
+	if eng != nil {
+		rec.Injections = eng.Report()
+	}
+	return rec, kind
+}
+
+// Program exposes the compiled base program (nil when the campaign
+// fell back to the tree-walk interpreter).
+func (r *Runner) Program() *interp.Program { return r.wcfg.Program }

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"profipy/internal/remote"
+)
+
+// Mount registers the worker-facing HTTP API on mux. All routes live
+// under /api/v1/workers and speak the wire types of internal/remote.
+//
+//	POST /api/v1/workers                          register       → RegisterResponse
+//	GET  /api/v1/workers                          list           → []WorkerInfo
+//	POST /api/v1/workers/{id}/heartbeat           renew liveness → 204 (410 unknown worker)
+//	POST /api/v1/workers/{id}/lease               pull a shard   → Lease or 204
+//	GET  /api/v1/workers/campaigns/{camp}/spec    campaign spec  → CampaignSpec
+//	POST /api/v1/workers/{id}/records             NDJSON batch   → 202 (410 stale lease)
+//	POST /api/v1/workers/{id}/complete            shard done     → 204 (410 stale lease)
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /api/v1/workers", c.handleRegister)
+	mux.HandleFunc("GET /api/v1/workers", c.handleList)
+	mux.HandleFunc("POST /api/v1/workers/{id}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /api/v1/workers/{id}/lease", c.handleLease)
+	mux.HandleFunc("GET /api/v1/workers/campaigns/{camp}/spec", c.handleSpec)
+	mux.HandleFunc("POST /api/v1/workers/{id}/records", c.handleRecords)
+	mux.HandleFunc("POST /api/v1/workers/{id}/complete", c.handleComplete)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req remote.RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad register request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.RegisterWorker(req))
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Workers())
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !c.Heartbeat(r.PathValue("id")) {
+		// 410: the worker is unknown (coordinator restarted); it must
+		// re-register rather than keep heartbeating into the void.
+		http.Error(w, "unknown worker", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	lease, ok := c.Lease(r.PathValue("id"))
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+func (c *Coordinator) handleSpec(w http.ResponseWriter, r *http.Request) {
+	spec, ok := c.Spec(r.PathValue("camp"))
+	if !ok {
+		http.Error(w, "unknown campaign", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, spec)
+}
+
+// handleRecords ingests one NDJSON batch of remote.RecordLine. The
+// campaign, shard and fencing token ride in query parameters so the
+// body stays a pure record stream.
+func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	campaign := q.Get("campaign")
+	token := q.Get("token")
+	shard, err := strconv.Atoi(q.Get("shard"))
+	if err != nil || campaign == "" || token == "" {
+		http.Error(w, "records request needs campaign, shard and token", http.StatusBadRequest)
+		return
+	}
+	var lines []remote.RecordLine
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ln remote.RecordLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			http.Error(w, "bad record line: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		lines = append(lines, ln)
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, "reading record stream: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !c.Ingest(campaign, shard, token, lines) {
+		http.Error(w, "stale lease", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req remote.CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad complete request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !c.Complete(req.Campaign, req.Shard, req.Token) {
+		http.Error(w, "stale lease", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

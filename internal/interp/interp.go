@@ -8,6 +8,7 @@ import (
 	"go/token"
 	"io"
 	"strings"
+	"sync/atomic"
 )
 
 // Sentinel errors for abnormal terminations of interpreted code.
@@ -18,6 +19,10 @@ var (
 	// ErrSteps is returned when the hard step budget is exhausted
 	// (a backstop against real non-termination of interpreted code).
 	ErrSteps = errors.New("interp: step budget exhausted")
+	// ErrInterrupted is returned when Interrupt was called from another
+	// goroutine — the workload watchdog killing a wall-clock-hung
+	// experiment so it cannot stall its whole shard.
+	ErrInterrupted = errors.New("interp: interrupted")
 )
 
 // PanicError is an uncaught exception escaping interpreted code — the
@@ -86,6 +91,9 @@ type Interp struct {
 	deadlineNS int64
 	steps      int64
 	maxSteps   int64
+	// interrupted is the only cross-goroutine channel into the
+	// interpreter: a watchdog sets it, the step loop polls it.
+	interrupted atomic.Bool
 
 	stdout io.Writer
 	hook   CallHook
@@ -185,6 +193,17 @@ func (it *Interp) AdvanceClock(ns int64) { it.clockNS += ns }
 // SetDeadline replaces the virtual deadline (absolute nanoseconds).
 func (it *Interp) SetDeadline(ns int64) { it.deadlineNS = ns }
 
+// Interrupt asks the interpreter to abort execution with ErrInterrupted
+// at the next interrupt poll. It is the only method safe to call from
+// another goroutine while the interpreter runs; the workload watchdog
+// uses it to kill experiments that exhaust their wall-clock budget.
+func (it *Interp) Interrupt() { it.interrupted.Store(true) }
+
+// interruptPollMask throttles the atomic interrupt check to one load
+// every 1024 steps, keeping the hot step loop branch-cheap while still
+// bounding watchdog reaction time to microseconds of real work.
+const interruptPollMask = 1<<10 - 1
+
 // step charges one interpreter step and enforces deadline and budget.
 func (it *Interp) step() error {
 	it.steps++
@@ -194,6 +213,9 @@ func (it *Interp) step() error {
 	}
 	if it.steps > it.maxSteps {
 		return ErrSteps
+	}
+	if it.steps&interruptPollMask == 0 && it.interrupted.Load() {
+		return ErrInterrupted
 	}
 	return nil
 }

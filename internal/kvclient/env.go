@@ -13,6 +13,23 @@ import (
 	"profipy/internal/trace"
 )
 
+// EnvByName resolves a named host environment for experiment
+// interpreters: "" and "kvclient" select the etcd case-study
+// environment (InstallEnv), "plain" the bare sandbox hooks. The name
+// travels in campaign specs and API requests where a function cannot —
+// remote workers and the SaaS layer resolve it through this single
+// table. Unknown names return ok=false.
+func EnvByName(name string) (fn func(it *interp.Interp, c *sandbox.Container), ok bool) {
+	switch name {
+	case "", "kvclient":
+		return func(it *interp.Interp, c *sandbox.Container) { InstallEnv(it, c) }, true
+	case "plain":
+		return func(it *interp.Interp, c *sandbox.Container) { sandbox.InstallHooks(it, c) }, true
+	default:
+		return nil, false
+	}
+}
+
 // Transport behaviour constants.
 const (
 	// requestLatencyNS is the virtual time one HTTP request costs.

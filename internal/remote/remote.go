@@ -1,0 +1,168 @@
+// Package remote defines the wire protocol between the profipyd control
+// plane and remote execution workers: the serialized campaign spec a
+// worker rebuilds its execution context from, the worker registration
+// and lease messages, and the NDJSON record envelope workers stream
+// results back with.
+//
+// The protocol is deliberately pull-based and idempotent. Workers
+// register, then poll for shard leases; the control plane never dials a
+// worker. Every lease carries a fencing token, every record envelope
+// carries its plan index, and the control plane deduplicates by index —
+// so a lease that expires mid-shard and is re-dispatched to another
+// worker can only ever fill holes, never corrupt or duplicate records.
+// Experiment seeds derive from the campaign seed plus the plan index,
+// so any worker executing any index produces the same record bytes.
+package remote
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"profipy/internal/analysis"
+	"profipy/internal/faultmodel"
+	"profipy/internal/scanner"
+)
+
+// CampaignSpec is the serialized form of a campaign's execution phase:
+// everything a worker needs to rebuild the campaign Runner and run any
+// experiment by plan index. The control plane resolves scan, sampling
+// and coverage itself and ships the verdicts, so worker-side Runners
+// derive the exact same plan (PlanHash proves it).
+type CampaignSpec struct {
+	Name string `json:"name"`
+	// Files is the full container file set (target + workload sources),
+	// keyed by container path. JSON transports the bytes as base64.
+	Files     map[string][]byte `json:"files"`
+	ScanFiles []string          `json:"scanFiles,omitempty"`
+	Faultload []faultmodel.Spec `json:"faultload"`
+
+	// Workload configuration. Env functions don't serialize; EnvName
+	// names a well-known host environment ("kvclient", "plain") the
+	// worker resolves locally.
+	Entry         string   `json:"entry"`
+	WorkloadFiles []string `json:"workloadFiles,omitempty"`
+	TimeoutNS     int64    `json:"timeoutNs,omitempty"`
+	MaxSteps      int64    `json:"maxSteps,omitempty"`
+	WallBudgetNS  int64    `json:"wallBudgetNs,omitempty"`
+	Rounds        int      `json:"rounds,omitempty"`
+	EnvName       string   `json:"envName,omitempty"`
+
+	// Image resource profile (files are filled in per experiment).
+	ImageName   string `json:"imageName,omitempty"`
+	ImageMemMB  int    `json:"imageMemMb,omitempty"`
+	ImageIOMBps int    `json:"imageIoMbps,omitempty"`
+
+	Seed       int64 `json:"seed"`
+	SampleN    int   `json:"sampleN,omitempty"`
+	ReducePlan bool  `json:"reducePlan,omitempty"`
+	TreeWalk   bool  `json:"treeWalk,omitempty"`
+
+	// Covered is the control plane's coverage verdict map; workers use
+	// it verbatim instead of re-running the coverage phase.
+	Covered map[string]bool `json:"covered,omitempty"`
+
+	// PlanHash fingerprints the control plane's post-reduction
+	// exec-point list. A worker whose rebuilt Runner derives a
+	// different hash refuses the lease instead of shipping records from
+	// a divergent plan.
+	PlanHash string `json:"planHash"`
+	// NumExperiments is the control plane's exec-point count, shipped
+	// so workers can sanity-check shard bounds before executing.
+	NumExperiments int `json:"numExperiments"`
+}
+
+// PlanHash fingerprints an exec-point list: the sha256 over each
+// point's stable identity (file, function, statement address and spec
+// name), in plan order. Both sides compute it over their own view of
+// the plan; equality means every index maps to the same experiment.
+func PlanHash(points []scanner.InjectionPoint) string {
+	h := sha256.New()
+	for _, pt := range points {
+		h.Write([]byte(pt.ID()))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RegisterRequest announces a worker to the control plane.
+type RegisterRequest struct {
+	// Name is a human-readable worker label (hostname, pod name);
+	// the control plane assigns the authoritative ID.
+	Name string `json:"name,omitempty"`
+	// Parallel is the worker's container parallelism (informational).
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// RegisterResponse carries the worker's identity and the protocol
+// cadence the control plane expects.
+type RegisterResponse struct {
+	ID string `json:"id"`
+	// LeaseTTLMS is how long a shard lease stays valid without a
+	// heartbeat before the control plane expires and re-dispatches it.
+	LeaseTTLMS int64 `json:"leaseTtlMs"`
+	// HeartbeatMS is the interval the worker should heartbeat at
+	// (a fraction of the lease TTL).
+	HeartbeatMS int64 `json:"heartbeatMs"`
+	// PollMS is the suggested lease-poll interval while idle.
+	PollMS int64 `json:"pollMs"`
+}
+
+// Lease grants a worker one contiguous shard of a campaign's plan.
+type Lease struct {
+	Campaign string `json:"campaign"`
+	Shard    int    `json:"shard"`
+	// Lo and Hi are the shard's half-open experiment index range
+	// [Lo, Hi) into the campaign's post-reduction plan.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Token fences the lease: record ingestion and completion must
+	// quote it, and a token from an expired lease is rejected, so a
+	// worker that lost its lease (and its re-dispatched successor)
+	// cannot interleave corrupt state.
+	Token string `json:"token"`
+	// PlanHash echoes the campaign spec's plan fingerprint.
+	PlanHash string `json:"planHash"`
+	// ExpiresMS is the lease deadline in milliseconds from grant;
+	// informational — the control plane's clock is authoritative.
+	ExpiresMS int64 `json:"expiresMs"`
+}
+
+// Execution-path kinds carried in record envelopes: which injection
+// path the experiment ran. KindLocal marks records produced by the
+// control plane's in-process fallback (its own Runner accounts those).
+const (
+	KindMutated  = "mutated"  // compile-time source mutation ran
+	KindInjected = "injected" // runtime injector table ran
+	KindLocal    = "local"    // produced by the local fallback path
+	KindError    = ""         // experiment aborted before execution
+)
+
+// RecordLine is one experiment result in a worker's NDJSON record
+// stream: the plan index, the execution-path kind (KindMutated /
+// KindInjected / "") and the record itself. Ingestion deduplicates by
+// index, so retransmits after a transport error are harmless.
+type RecordLine struct {
+	Idx  int             `json:"idx"`
+	Kind string          `json:"kind,omitempty"`
+	Rec  analysis.Record `json:"rec"`
+}
+
+// CompleteRequest reports a fully executed shard.
+type CompleteRequest struct {
+	Campaign string `json:"campaign"`
+	Shard    int    `json:"shard"`
+	Token    string `json:"token"`
+}
+
+// WorkerInfo is the control plane's view of one registered worker.
+type WorkerInfo struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Parallel int    `json:"parallel,omitempty"`
+	// Live reports whether the worker heartbeated within the lease TTL.
+	Live bool `json:"live"`
+	// LastSeenMS is milliseconds since the last heartbeat.
+	LastSeenMS int64 `json:"lastSeenMs"`
+	// Shards counts shards currently leased to the worker.
+	Shards int `json:"shards"`
+}

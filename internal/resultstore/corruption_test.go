@@ -1,0 +1,136 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"profipy/internal/analysis"
+)
+
+// writeCampaign populates a disk store with n records across several
+// segments, finishes it and closes the store, returning the campaign
+// directory.
+func writeCampaign(t *testing.T, dir, id string, n int) string {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSegmentRecords(4)
+	w, err := s.StartCampaign(Meta{ID: id, Project: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, n)
+	if err := w.Finish(StatusDone, nil, &analysis.Report{Total: n}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "campaigns", id)
+}
+
+func segments(t *testing.T, cdir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(cdir, "records-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatalf("no record segments under %s", cdir)
+	}
+	return names
+}
+
+// TestRestoreDropsTornTrailingWrite truncates the last segment
+// mid-line (a crashed process's torn write): restore must drop only
+// the torn fragment and keep serving every complete record.
+func TestRestoreDropsTornTrailingWrite(t *testing.T) {
+	dir := t.TempDir()
+	cdir := writeCampaign(t, dir, "camp-torn", 10)
+	segs := segments(t, cdir)
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("restore with torn segment failed: %v", err)
+	}
+	defer s.Close()
+	got := recordLines(t, s, "camp-torn")
+	if len(got) != 9 { // 10 minus the torn final line
+		t.Fatalf("restored %d records, want 9", len(got))
+	}
+}
+
+// TestRestoreQuarantinesBitFlippedSegment corrupts an interior byte of
+// the first segment: restore must rename it to .bad, log, and keep
+// serving the surviving segments instead of refusing the campaign.
+func TestRestoreQuarantinesBitFlippedSegment(t *testing.T) {
+	dir := t.TempDir()
+	cdir := writeCampaign(t, dir, "camp-rot", 10)
+	segs := segments(t, cdir)
+	if len(segs) < 2 {
+		t.Fatalf("want >=2 segments, got %d", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff // destroy the opening brace of the first JSON line
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("restore with corrupt segment failed: %v", err)
+	}
+	defer s.Close()
+
+	// The damaged file moved aside; the healthy segments still serve.
+	if _, err := os.Stat(segs[0] + ".bad"); err != nil {
+		t.Errorf("corrupt segment not quarantined: %v", err)
+	}
+	if _, err := os.Stat(segs[0]); !os.IsNotExist(err) {
+		t.Errorf("corrupt segment still present: %v", err)
+	}
+	got := recordLines(t, s, "camp-rot")
+	if len(got) != 6 { // 10 records minus the quarantined 4-record segment
+		t.Fatalf("restored %d records, want 6", len(got))
+	}
+	for _, ln := range got {
+		if strings.Contains(string(ln), "\x00") {
+			t.Fatal("corrupt bytes leaked into served records")
+		}
+	}
+}
+
+// TestRestoreSurvivesAllSegmentsCorrupt quarantines everything: the
+// campaign restores with zero records but the store still opens.
+func TestRestoreSurvivesAllSegmentsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cdir := writeCampaign(t, dir, "camp-dead", 6)
+	for _, seg := range segments(t, cdir) {
+		if err := os.WriteFile(seg, []byte("not json at all\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("restore failed: %v", err)
+	}
+	defer s.Close()
+	if got := recordLines(t, s, "camp-dead"); len(got) != 0 {
+		t.Fatalf("restored %d records from fully corrupt campaign, want 0", len(got))
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -248,7 +249,10 @@ func (s *Store) loadCampaigns() error {
 
 // loadSegments scans the campaign directory's record segments, counting
 // complete lines (a torn trailing write is ignored) and recording each
-// segment's extent; line data is not retained.
+// segment's extent; line data is not retained. A segment containing a
+// corrupt interior line (bit rot, partial overwrite) is quarantined —
+// renamed to <name>.bad and skipped — so one damaged file costs its own
+// records, never the whole campaign restore.
 func (c *campaign) loadSegments() error {
 	names, err := filepath.Glob(filepath.Join(c.dir, "records-*.jsonl"))
 	if err != nil {
@@ -261,7 +265,23 @@ func (c *campaign) loadSegments() error {
 		if err != nil {
 			return fmt.Errorf("resultstore: %w", err)
 		}
-		count := len(completeLines(data))
+		lines := completeLines(data)
+		valid := true
+		for _, line := range lines {
+			if !json.Valid(line) {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			if rerr := os.Rename(path, path+".bad"); rerr != nil {
+				return fmt.Errorf("resultstore: quarantining corrupt segment: %w", rerr)
+			}
+			slog.Warn("resultstore: quarantined corrupt record segment",
+				"campaign", c.meta.ID, "segment", filepath.Base(path), "lines", len(lines))
+			continue
+		}
+		count := len(lines)
 		c.segs = append(c.segs, &segment{name: filepath.Base(path), start: start, count: count})
 		start += int64(count)
 	}

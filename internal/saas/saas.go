@@ -22,9 +22,11 @@ import (
 	"profipy/internal/campaign"
 	"profipy/internal/executor"
 	"profipy/internal/faultmodel"
+	"profipy/internal/fleet"
 	"profipy/internal/interp"
 	"profipy/internal/kvclient"
 	"profipy/internal/obs"
+	"profipy/internal/remote"
 	"profipy/internal/resultstore"
 	"profipy/internal/sandbox"
 	"profipy/internal/scanner"
@@ -74,6 +76,22 @@ type CampaignRequest struct {
 	// the single-host N−1 pool. Records are byte-identical either way.
 	Shards       int `json:"shards,omitempty"`
 	ShardWorkers int `json:"shardWorkers,omitempty"`
+	// Remote executes the campaign on the registered worker fleet:
+	// the plan is cut into Shards lease units (default 8) that remote
+	// workers pull, execute and stream back, with lease-expiry
+	// re-dispatch on worker failure. With no live workers the campaign
+	// degrades to in-process execution; records are byte-identical at
+	// any worker count either way.
+	Remote bool `json:"remote,omitempty"`
+	// WaitForWorkers keeps a Remote campaign's shards reserved for the
+	// fleet even while no worker is live (instead of falling back to
+	// in-process execution).
+	WaitForWorkers bool `json:"waitForWorkers,omitempty"`
+	// ExperimentWallMS arms the per-experiment wall-clock watchdog:
+	// a workload round burning more than this much real time is killed
+	// and classified as a timeout. 0 leaves the watchdog off (the
+	// byte-reproducible default).
+	ExperimentWallMS int64 `json:"experimentWallMs,omitempty"`
 	// Classes are user-defined failure modes.
 	Classes []analysis.FailureClass `json:"classes,omitempty"`
 }
@@ -109,7 +127,9 @@ type JobStatus struct {
 	PhaseMillis map[string]int64 `json:"phaseMillis,omitempty"`
 	// Campaign is the finished campaign's ID, set once State is "done";
 	// fetch the report at /api/v1/campaigns/{campaign}.
-	Campaign   string `json:"campaign,omitempty"`
+	Campaign string `json:"campaign,omitempty"`
+	// Attempts counts task executions (>1 after scheduler retries).
+	Attempts   int    `json:"attempts,omitempty"`
 	Error      string `json:"error,omitempty"`
 	EnqueuedMS int64  `json:"enqueuedMs,omitempty"`
 	StartedMS  int64  `json:"startedMs,omitempty"`
@@ -130,6 +150,8 @@ type Server struct {
 	sched     *scheduler.Scheduler
 	store     *resultstore.Store
 	reg       *obs.Registry
+	fleet     *fleet.Coordinator
+	reqTimeout time.Duration
 	// testProgressHook, when set (tests only, before serving), observes
 	// every campaign progress update after it reaches the scheduler; a
 	// blocking hook stalls the campaign, which tests use to inspect
@@ -159,6 +181,16 @@ type Options struct {
 	// scraped at GET /metrics. Nil gets a fresh private registry, so
 	// the server is always instrumented.
 	Metrics *obs.Registry
+	// LeaseTTL is how long a remote worker's shard lease survives
+	// without a heartbeat before it is re-dispatched (default 15s).
+	LeaseTTL time.Duration
+	// Heartbeat is the cadence workers are told to heartbeat at
+	// (default LeaseTTL/3).
+	Heartbeat time.Duration
+	// RequestTimeout bounds non-streaming API requests (default 30s;
+	// negative disables). Streaming routes (/stream) and synchronous
+	// campaign waits (?wait=true) manage their own lifetimes.
+	RequestTimeout time.Duration
 }
 
 // NewServer creates a SaaS server simulating a host with the given number
@@ -189,13 +221,25 @@ func NewServerWithOptions(opt Options) (*Server, error) {
 		return nil, err
 	}
 	store.Instrument(opt.Metrics)
+	reqTimeout := opt.RequestTimeout
+	if reqTimeout == 0 {
+		reqTimeout = 30 * time.Second
+	} else if reqTimeout < 0 {
+		reqTimeout = 0
+	}
 	s := &Server{
-		projects:  make(map[string]*Project),
-		models:    faultmodel.NewRegistry(),
-		campaigns: make(map[string]*campaignRun),
-		cores:     opt.Cores,
-		store:     store,
-		reg:       opt.Metrics,
+		projects:   make(map[string]*Project),
+		models:     faultmodel.NewRegistry(),
+		campaigns:  make(map[string]*campaignRun),
+		cores:      opt.Cores,
+		store:      store,
+		reg:        opt.Metrics,
+		reqTimeout: reqTimeout,
+		fleet: fleet.New(fleet.Config{
+			LeaseTTL:  opt.LeaseTTL,
+			Heartbeat: opt.Heartbeat,
+			Reg:       opt.Metrics,
+		}),
 	}
 	s.sched = scheduler.New(scheduler.Config{
 		Workers:    opt.Workers,
@@ -309,6 +353,9 @@ func (s *Server) Store() *resultstore.Store { return s.store }
 // GET /metrics). Never nil.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
+// Fleet exposes the remote-worker coordinator. Never nil.
+func (s *Server) Fleet() *fleet.Coordinator { return s.fleet }
+
 // Handler returns the HTTP handler exposing the API, instrumented with
 // per-route request metrics, plus the Prometheus scrape endpoint.
 func (s *Server) Handler() http.Handler {
@@ -328,7 +375,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancelJob)
-	return instrumentHTTP(s.reg, mux)
+	s.fleet.Mount(mux)
+	// Metrics sit inside the timeout wrapper: TimeoutHandler serves the
+	// inner handler with a shallow-copied request, so the mux-set
+	// r.Pattern the route label comes from is only visible downstream
+	// of it.
+	handler := instrumentHTTP(s.reg, mux)
+	if s.reqTimeout > 0 {
+		// Per-route request timeout: every API route is bounded except
+		// the ones that legitimately outlive it — record streaming
+		// (needs Flusher, manages its own follow window) and the
+		// synchronous campaign wait (bounded by the campaign itself).
+		timed := http.TimeoutHandler(handler, s.reqTimeout, `{"error":"request timed out"}`)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/stream") ||
+				(r.URL.Path == "/api/v1/campaigns" && r.Method == http.MethodPost && r.URL.Query().Get("wait") == "true") {
+				handler.ServeHTTP(w, r)
+				return
+			}
+			timed.ServeHTTP(w, r)
+		})
+	}
+	return handler
 }
 
 func (s *Server) handleCreateProject(w http.ResponseWriter, r *http.Request) {
@@ -455,11 +523,12 @@ func (s *Server) buildCampaign(req CampaignRequest) (*campaign.Campaign, string,
 		ScanFiles: req.ScanFiles,
 		Faultload: specs,
 		Workload: workload.Config{
-			Entry:     req.Entry,
-			Files:     wlFiles,
-			TimeoutNS: timeout * 1_000_000_000,
-			MaxSteps:  20_000_000,
-			Env:       env,
+			Entry:        req.Entry,
+			Files:        wlFiles,
+			TimeoutNS:    timeout * 1_000_000_000,
+			MaxSteps:     20_000_000,
+			WallBudgetNS: req.ExperimentWallMS * 1_000_000,
+			Env:          env,
 		},
 		Runtime:    sandbox.NewRuntime(sandbox.RuntimeConfig{Cores: s.cores, Seed: req.Seed}),
 		Image:      sandbox.Image{Name: req.Project, MemMB: 256, IOMBps: 10},
@@ -473,7 +542,38 @@ func (s *Server) buildCampaign(req CampaignRequest) (*campaign.Campaign, string,
 		DiscardRecords: true,
 		Metrics:        s.reg,
 	}
-	if req.Shards > 0 {
+	switch {
+	case req.Remote:
+		// The distributed engine: the campaign spec below is what a
+		// worker rebuilds its execution context from, so it mirrors the
+		// Campaign fields above — except the plan context, which the
+		// campaign fills in (SetPlanContext) once scan and coverage ran.
+		c.Executor = &executor.Remote{
+			Coord: s.fleet,
+			Spec: remote.CampaignSpec{
+				Name:          req.Project,
+				Files:         files,
+				ScanFiles:     req.ScanFiles,
+				Faultload:     specs,
+				Entry:         req.Entry,
+				WorkloadFiles: wlFiles,
+				TimeoutNS:     timeout * 1_000_000_000,
+				MaxSteps:      20_000_000,
+				WallBudgetNS:  req.ExperimentWallMS * 1_000_000,
+				EnvName:       req.Env,
+				ImageName:     req.Project,
+				ImageMemMB:    256,
+				ImageIOMBps:   10,
+				Seed:          req.Seed,
+				SampleN:       req.SampleN,
+				ReducePlan:    req.ReducePlan,
+			},
+			Shards:         req.Shards,
+			LocalWorkers:   s.cores - 1,
+			WaitForWorkers: req.WaitForWorkers,
+			Reg:            s.reg,
+		}
+	case req.Shards > 0:
 		c.Executor = executor.Sharded{Shards: req.Shards, Workers: req.ShardWorkers, Reg: s.reg}
 	}
 	return c, proj.Name, 0, ""
@@ -541,6 +641,12 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 	task := func(ctx context.Context, report func(scheduler.Progress)) (any, error) {
 		jobID := <-jobIDCh
 		campID := campaignIDFor(jobID)
+		// The remote executor keys its fleet job, leases and record
+		// streams by the campaign's public ID, so workers and operators
+		// see the same name everywhere.
+		if rm, ok := c.Executor.(*executor.Remote); ok {
+			rm.CampaignID = campID
+		}
 		// Every log line below this point carries the job and campaign
 		// IDs, so one campaign's records can be grepped out of a busy
 		// daemon's output.
@@ -647,7 +753,7 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 func jobView(st scheduler.Status) JobStatus {
 	out := JobStatus{
 		ID: st.ID, Project: st.Name, State: st.State, Progress: st.Progress,
-		PhaseMillis: st.PhaseMillis, Error: st.Error,
+		PhaseMillis: st.PhaseMillis, Attempts: st.Attempts, Error: st.Error,
 		EnqueuedMS: st.EnqueuedMS, StartedMS: st.StartedMS, FinishedMS: st.FinishedMS,
 	}
 	if id, ok := st.Result.(string); ok {
@@ -837,15 +943,14 @@ func queryInt64(r *http.Request, name string, def int64) (int64, error) {
 }
 
 // envFunc resolves the host environment for experiment interpreters.
+// The name table lives in kvclient.EnvByName, shared with the remote
+// worker agent so both sides resolve campaign specs identically.
 func envFunc(name string) func(it *interp.Interp, c *sandbox.Container) {
-	switch name {
-	case "", "kvclient":
-		return func(it *interp.Interp, c *sandbox.Container) { kvclient.InstallEnv(it, c) }
-	case "plain":
-		return func(it *interp.Interp, c *sandbox.Container) { sandbox.InstallHooks(it, c) }
-	default:
+	fn, ok := kvclient.EnvByName(name)
+	if !ok {
 		return nil
 	}
+	return fn
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

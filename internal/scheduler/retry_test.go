@@ -1,0 +1,89 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetryableJobRetriesUntilSuccess(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, MaxRetries: 3, RetryBackoff: 1})
+	defer s.Close()
+	var calls atomic.Int32
+	id, err := s.Submit("flaky", func(ctx context.Context, report func(Progress)) (any, error) {
+		if calls.Add(1) < 3 {
+			return nil, MarkRetryable(errors.New("transient"))
+		}
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s.Wait(id)
+	if !ok || st.State != Done {
+		t.Fatalf("job = %+v, want Done", st)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("task ran %d times, want 3", calls.Load())
+	}
+	if st.Attempts != 3 {
+		t.Fatalf("status attempts = %d, want 3", st.Attempts)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, MaxRetries: 2, RetryBackoff: 1})
+	defer s.Close()
+	var calls atomic.Int32
+	id, _ := s.Submit("doomed", func(ctx context.Context, report func(Progress)) (any, error) {
+		calls.Add(1)
+		return nil, MarkRetryable(errors.New("still broken"))
+	})
+	st, _ := s.Wait(id)
+	if st.State != Failed {
+		t.Fatalf("job = %+v, want Failed", st)
+	}
+	if calls.Load() != 3 { // initial attempt + 2 retries
+		t.Fatalf("task ran %d times, want 3", calls.Load())
+	}
+}
+
+func TestNonRetryableFailsOnFirstAttempt(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, MaxRetries: 5, RetryBackoff: 1})
+	defer s.Close()
+	var calls atomic.Int32
+	id, _ := s.Submit("fatal", func(ctx context.Context, report func(Progress)) (any, error) {
+		calls.Add(1)
+		return nil, errors.New("deterministic failure")
+	})
+	st, _ := s.Wait(id)
+	if st.State != Failed {
+		t.Fatalf("job = %+v, want Failed", st)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("task ran %d times, want 1 (plain errors must not retry)", calls.Load())
+	}
+	if st.Attempts != 1 {
+		t.Fatalf("status attempts = %d, want 1", st.Attempts)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	if Retryable(nil) {
+		t.Error("nil must not be retryable")
+	}
+	if Retryable(errors.New("plain")) {
+		t.Error("unmarked errors must not be retryable")
+	}
+	if !Retryable(MarkRetryable(errors.New("transient"))) {
+		t.Error("marked errors must be retryable")
+	}
+	if Retryable(MarkRetryable(context.Canceled)) {
+		t.Error("cancellation must never retry, even when marked")
+	}
+	wrapped := MarkRetryable(errors.New("inner"))
+	if !errors.Is(MarkRetryable(wrapped), wrapped) {
+		t.Error("MarkRetryable must preserve the error chain")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"profipy/internal/backoff"
 	"profipy/internal/obs"
 )
 
@@ -57,6 +58,9 @@ type Status struct {
 	// PhaseMillis records wall-clock time spent in each completed phase.
 	PhaseMillis map[string]int64 `json:"phaseMillis,omitempty"`
 	Error       string           `json:"error,omitempty"`
+	// Attempts counts task executions: 1 for a job that ran once,
+	// more when retryable failures were re-run (Config.MaxRetries).
+	Attempts int `json:"attempts,omitempty"`
 	// Unix-millisecond lifecycle timestamps (zero = not reached).
 	EnqueuedMS int64 `json:"enqueuedMs,omitempty"`
 	StartedMS  int64 `json:"startedMs,omitempty"`
@@ -91,6 +95,13 @@ type Config struct {
 	// (queue depth, running/finished jobs, job and phase latency) on
 	// the registry and keeps them current.
 	Metrics *obs.Registry
+	// MaxRetries re-runs a job up to this many extra times when its
+	// task fails with a retryable error (wrapped via MarkRetryable).
+	// Cancellation is never retried. Default 0: fail fast.
+	MaxRetries int
+	// RetryBackoff is the base delay between attempts; attempt k waits
+	// RetryBackoff·2^k with ±20% jitter, capped at 30s (default 250ms).
+	RetryBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -103,7 +114,36 @@ func (c Config) withDefaults() Config {
 	if c.Retain <= 0 {
 		c.Retain = 256
 	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
 	return c
+}
+
+// retryableError marks a task error as safe to re-run.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// MarkRetryable wraps an error so the scheduler may re-run the job
+// (transient infrastructure failures: an unreachable store, a worker
+// fleet mid-restart). Idempotent tasks only — the whole job re-executes.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// Retryable reports whether err (or anything it wraps) was marked
+// retryable. Context cancellation is never retryable.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	var re *retryableError
+	return errors.As(err, &re)
 }
 
 // job is the internal mutable record behind a Status.
@@ -116,6 +156,7 @@ type job struct {
 	mu         sync.Mutex
 	state      State
 	prog       Progress
+	attempts   int
 	phaseMS    map[string]int64
 	phaseStart time.Time
 	err        error
@@ -131,7 +172,7 @@ func (j *job) status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID: j.id, Name: j.name, State: j.state, Progress: j.prog,
+		ID: j.id, Name: j.name, State: j.state, Progress: j.prog, Attempts: j.attempts,
 		EnqueuedMS: unixMS(j.enqueued), StartedMS: unixMS(j.started), FinishedMS: unixMS(j.finished),
 		Result: j.result,
 	}
@@ -422,7 +463,26 @@ func (s *Scheduler) runJob(j *job) {
 	j.mu.Unlock()
 	s.met.started()
 
-	result, err := j.task(ctx, j.report)
+	// Retry loop: a task failure marked retryable (MarkRetryable) is
+	// re-run up to MaxRetries extra times with exponential backoff and
+	// jitter. Cancellation always wins; progress counters carry over
+	// monotonically across attempts.
+	var result any
+	var err error
+	for attempt := 0; ; attempt++ {
+		j.mu.Lock()
+		j.attempts = attempt + 1
+		j.mu.Unlock()
+		result, err = j.task(ctx, j.report)
+		if err == nil || !Retryable(err) || attempt >= s.cfg.MaxRetries {
+			break
+		}
+		s.met.retried()
+		if !backoff.Sleep(ctx, attempt, s.cfg.RetryBackoff, 30*time.Second, 0.2, nil) {
+			err = context.Canceled
+			break
+		}
+	}
 
 	j.mu.Lock()
 	if j.prog.Phase != "" {

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWatchdogKillsWallClockHang drives a round that burns real time
+// without tripping the virtual deadline or step budget: only the
+// wall-clock watchdog can end it. The round must come back as a
+// watchdog-marked timeout instead of pinning the test forever, and the
+// fault-free round must be untouched.
+func TestWatchdogKillsWallClockHang(t *testing.T) {
+	src := []byte(`package main
+
+func Workload() any {
+	if __fault_enabled() {
+		for {
+		}
+	}
+	return "ok"
+}`)
+	_, c := newContainer(map[string][]byte{"w.go": src})
+	start := time.Now()
+	res, err := Run(c, Config{
+		Entry: "Workload", Files: []string{"w.go"}, Env: env,
+		// Virtual deadline and step budget far beyond what the watchdog
+		// allows, so the wall clock is the only limiter.
+		TimeoutNS:    3_600_000_000_000,
+		MaxSteps:     1 << 60,
+		WallBudgetNS: (50 * time.Millisecond).Nanoseconds(),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("watchdog took %v to fire", elapsed)
+	}
+	r1 := res.Round1()
+	if !r1.Timeout || !r1.Watchdog {
+		t.Errorf("round 1 = %+v, want watchdog timeout", r1)
+	}
+	if !strings.Contains(r1.Message, "watchdog") {
+		t.Errorf("round 1 message = %q, want watchdog marker", r1.Message)
+	}
+	if r2 := res.Round2(); !r2.OK {
+		t.Errorf("round 2 = %+v, want ok (fault disabled, loop never entered)", r2)
+	}
+}
+
+// TestWatchdogDisabledByDefault leaves WallBudgetNS at zero and lets
+// the virtual deadline fire as before: the round is a plain timeout,
+// never watchdog-marked, keeping existing campaigns' records stable.
+func TestWatchdogDisabledByDefault(t *testing.T) {
+	src := []byte(`package main
+
+func Workload() any {
+	if __fault_enabled() {
+		for {
+		}
+	}
+	return "ok"
+}`)
+	_, c := newContainer(map[string][]byte{"w.go": src})
+	res, err := Run(c, Config{
+		Entry: "Workload", Files: []string{"w.go"}, Env: env,
+		TimeoutNS: 50_000_000, // 50ms virtual
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r1 := res.Round1()
+	if !r1.Timeout || r1.Watchdog {
+		t.Errorf("round 1 = %+v, want plain virtual-deadline timeout", r1)
+	}
+}

@@ -9,8 +9,10 @@ package workload
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"profipy/internal/interp"
+	"profipy/internal/obs"
 	"profipy/internal/sandbox"
 )
 
@@ -47,6 +49,18 @@ type Config struct {
 	// injector serves all rounds of one experiment, so activation
 	// counters persist across rounds.
 	Injector Injector
+	// WallBudgetNS bounds the real (wall-clock) time of one round; 0
+	// disables the watchdog. The virtual deadline and step budget above
+	// catch hangs of well-behaved interpreted code, but a mutated
+	// program can loop inside a single expensive host operation — the
+	// watchdog interrupts the interpreter from outside so the round is
+	// classified as a timeout instead of stalling its whole shard.
+	// Watchdog firings are inherently wall-clock-dependent, so leave
+	// this off for campaigns that must be byte-reproducible.
+	WallBudgetNS int64
+	// Metrics, when set, counts watchdog firings
+	// (profipy_workload_watchdog_timeouts_total).
+	Metrics *obs.Registry
 }
 
 // Injector is a runtime fault injector table attachable to a workload:
@@ -66,6 +80,9 @@ type RoundResult struct {
 	Message   string `json:"message,omitempty"`
 	VirtualNS int64  `json:"virtualNs"`
 	Steps     int64  `json:"steps"`
+	// Watchdog marks a timeout forced by the wall-clock watchdog
+	// (Config.WallBudgetNS) rather than the virtual deadline.
+	Watchdog bool `json:"watchdog,omitempty"`
 }
 
 // Failed reports whether the round ended in a service failure.
@@ -168,11 +185,27 @@ func runRound(c *sandbox.Container, cfg Config) (RoundResult, error) {
 			}
 		}
 	}
+	// Arm the wall-clock watchdog around the round only: Interrupt is
+	// the interpreter's one cross-goroutine entry point, so a round that
+	// burns real time inside a loop the virtual clock undercounts is
+	// killed instead of pinning its shard worker.
+	if cfg.WallBudgetNS > 0 {
+		wd := time.AfterFunc(time.Duration(cfg.WallBudgetNS), it.Interrupt)
+		defer wd.Stop()
+	}
 	_, err := it.Call(cfg.Entry)
 	rr := RoundResult{VirtualNS: it.Clock(), Steps: it.Steps()}
 	switch {
 	case err == nil:
 		rr.OK = true
+	case errors.Is(err, interp.ErrInterrupted):
+		rr.Timeout = true
+		rr.Watchdog = true
+		rr.Message = "workload timeout (watchdog: wall-clock budget exceeded)"
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter("profipy_workload_watchdog_timeouts_total",
+				"Experiment rounds killed by the wall-clock watchdog.").Inc()
+		}
 	case errors.Is(err, interp.ErrTimeout), errors.Is(err, interp.ErrSteps):
 		rr.Timeout = true
 		rr.Message = "workload timeout (hang)"

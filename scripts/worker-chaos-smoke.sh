@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# worker-chaos-smoke boots profipyd plus two profipy-worker processes,
+# runs the same campaign twice — once in-process as the baseline, once
+# distributed across the workers with one of them SIGKILLed
+# mid-campaign — and fails unless the distributed run completes and its
+# record set is byte-identical to the baseline. This is the end-to-end
+# gate on shard leases, heartbeat expiry, re-dispatch and idempotent
+# record ingestion surviving a real process kill.
+set -euo pipefail
+
+ADDR=127.0.0.1:18091
+WORKDIR=$(mktemp -d)
+DAEMON="$WORKDIR/profipyd"
+WORKER="$WORKDIR/profipy-worker"
+
+cleanup() {
+  for p in "${WPID1:-}" "${WPID2:-}" "${PID:-}"; do
+    [[ -n "$p" ]] && kill "$p" 2>/dev/null || true
+  done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== build profipyd and profipy-worker"
+go build -o "$DAEMON" ./cmd/profipyd
+go build -o "$WORKER" ./cmd/profipy-worker
+
+echo "== boot profipyd on $ADDR (lease TTL 2s)"
+"$DAEMON" -addr "$ADDR" -lease-ttl 2s -data-dir "$WORKDIR/data" &
+PID=$!
+for _ in $(seq 1 100); do
+  curl -fs "http://$ADDR/api/v1/projects" >/dev/null 2>&1 && break
+  kill -0 "$PID" 2>/dev/null || { echo "profipyd exited during startup"; exit 1; }
+  sleep 0.1
+done
+
+# The §V-A style demo campaign: enough injection points that the
+# distributed run spans several shard leases.
+request() {
+  cat <<EOF
+{
+  "project": "demo-python-etcd",
+  "entry": "Workload",
+  "env": "kvclient",
+  "seed": 42,
+  "scanFiles": ["etcdclient/client.go", "etcdclient/lock.go", "etcdclient/auth.go"],
+  "specs": [{
+    "name": "omit-write",
+    "type": "MFC",
+    "dsl": "change {\n\t\$CALL{name=osio.WriteFile,osio.Remove}(...)\n} into {\n}"
+  }]$1
+}
+EOF
+}
+
+records_of() { # records_of <campaign-id> -> sorted record lines
+  curl -fs "http://$ADDR/api/v1/campaigns/$1/records?limit=10000" \
+    | jq -cS '.records[]' | sort
+}
+
+echo "== baseline: run the campaign in-process"
+BASE_ID=$(curl -fs -X POST "http://$ADDR/api/v1/campaigns?wait=true" \
+  -H 'Content-Type: application/json' -d "$(request '')" | jq -r .id)
+records_of "$BASE_ID" > "$WORKDIR/baseline.txt"
+BASE_N=$(wc -l < "$WORKDIR/baseline.txt")
+[[ "$BASE_N" -gt 0 ]] || { echo "baseline produced no records"; exit 1; }
+echo "   baseline campaign $BASE_ID: $BASE_N records"
+
+echo "== start worker 1 (the victim; slow poll so the campaign outlives it)"
+"$WORKER" -server "http://$ADDR" -name victim -parallel 2 -poll 500ms &
+WPID1=$!
+
+echo "== submit the distributed campaign"
+JOB=$(curl -fs -X POST "http://$ADDR/api/v1/campaigns" \
+  -H 'Content-Type: application/json' \
+  -d "$(request ', "remote": true, "waitForWorkers": true')" | jq -r .job)
+CAMP="camp-${JOB#job-}"
+echo "   job $JOB, campaign $CAMP"
+
+echo "== wait for the victim to ship some records, then SIGKILL it"
+for _ in $(seq 1 100); do
+  N=$(curl -fs "http://$ADDR/api/v1/campaigns/$CAMP/records?limit=1" 2>/dev/null \
+    | jq -r '.records | length' 2>/dev/null || echo 0)
+  [[ "$N" -gt 0 ]] && break
+  sleep 0.1
+done
+kill -9 "$WPID1"
+echo "   victim (pid $WPID1) killed"
+
+echo "== start worker 2 (the survivor)"
+"$WORKER" -server "http://$ADDR" -name survivor -parallel 2 -poll 100ms &
+WPID2=$!
+
+echo "== wait for the distributed campaign to finish"
+for _ in $(seq 1 600); do
+  STATE=$(curl -fs "http://$ADDR/api/v1/jobs/$JOB" | jq -r .state)
+  [[ "$STATE" == "done" ]] && break
+  [[ "$STATE" == "failed" || "$STATE" == "canceled" ]] && {
+    echo "distributed campaign ended $STATE"; curl -fs "http://$ADDR/api/v1/jobs/$JOB"; exit 1; }
+  sleep 0.2
+done
+[[ "${STATE:-}" == "done" ]] || { echo "distributed campaign timed out"; exit 1; }
+
+echo "== compare distributed records against the baseline"
+records_of "$CAMP" > "$WORKDIR/chaos.txt"
+if ! diff -q "$WORKDIR/baseline.txt" "$WORKDIR/chaos.txt" >/dev/null; then
+  echo "record sets differ:"
+  diff "$WORKDIR/baseline.txt" "$WORKDIR/chaos.txt" | head -20
+  exit 1
+fi
+echo "   $(wc -l < "$WORKDIR/chaos.txt") records, byte-identical to baseline"
+
+echo "== check fleet surfaced both workers and the metric families"
+WORKERS=$(curl -fs "http://$ADDR/api/v1/workers")
+echo "$WORKERS" | jq -e 'length >= 2' >/dev/null \
+  || { echo "worker listing incomplete: $WORKERS"; exit 1; }
+SCRAPE=$(curl -fs "http://$ADDR/metrics")
+for fam in profipy_fleet_workers profipy_fleet_lease_expiries_total \
+  profipy_fleet_shard_redispatch_total profipy_fleet_records_ingested_total; do
+  grep -q "^# TYPE $fam " <<<"$SCRAPE" || { echo "MISSING family: $fam"; exit 1; }
+done
+
+echo "worker chaos smoke OK"
