@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_PKGS = ./internal/scanner/ ./internal/pattern/ ./internal/mutator/ ./internal/interp/
 
-.PHONY: build vet test race shuffle cover fuzz-smoke golden-update bench bench-exec bench-pipeline bench-all metrics-smoke worker-chaos-smoke
+.PHONY: build vet test race shuffle cover fuzz-smoke golden-update bench bench-exec bench-pipeline bench-all metrics-smoke worker-chaos-smoke restart-chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,13 @@ metrics-smoke:
 # in-process baseline run.
 worker-chaos-smoke:
 	./scripts/worker-chaos-smoke.sh
+
+# Crash-consistency gate: boots profipyd, SIGKILLs it mid-campaign with
+# a second job still queued, restarts it on the same data dir, and
+# fails unless the resumed campaign's records and report come out
+# byte-identical to an uninterrupted run and the queued job completes.
+restart-chaos-smoke:
+	./scripts/restart-chaos-smoke.sh
 
 # Everything, including the paper-evaluation campaign benchmarks at the
 # repository root (slow).

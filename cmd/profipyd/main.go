@@ -5,7 +5,10 @@
 // by a worker pool; experiment records stream into a persistent result
 // store as they complete, so clients can page and live-follow them, and
 // a restarted daemon keeps serving campaigns a previous process
-// finished.
+// finished. With -data-dir the daemon is also crash-consistent:
+// accepted jobs are write-ahead journaled, so after a kill -9 the next
+// boot re-enqueues queued jobs and resumes mid-flight campaigns from
+// their stored records, re-executing only the missing experiments.
 //
 //	profipyd -addr :8080 -cores 8 -workers 2 -queue 64 -retain 256 -data-dir /var/lib/profipy
 //
@@ -71,7 +74,7 @@ func run(ctx context.Context, args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	cores := fs.Int("cores", 4, "simulated host cores (experiments run N-1 in parallel)")
 	workers := fs.Int("workers", 2, "campaign scheduler worker pool size")
-	queue := fs.Int("queue", 64, "max queued campaign jobs before 503")
+	queue := fs.Int("queue", 64, "max queued campaign jobs before 429")
 	retain := fs.Int("retain", 256, "finished jobs kept for polling")
 	dataDir := fs.String("data-dir", "", "persistent result store directory (empty = in-memory only)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful HTTP drain deadline on SIGINT/SIGTERM")

@@ -82,6 +82,16 @@ type Campaign struct {
 	// Records arrive from a single goroutine, tagged with their plan
 	// index, in completion order.
 	Sink executor.RecordSink
+	// Resume seeds a restarted campaign with records a previous run
+	// already produced (typically read back from the result store).
+	// Matching plan indices are replayed into the aggregator and the
+	// Result — but not re-executed and not re-emitted to Sink — so the
+	// final report is byte-identical to an uninterrupted run while only
+	// the missing experiments execute. Records whose injection point is
+	// not in the current plan are ignored. Experiment seeds derive from
+	// plan indices, which is what makes resumed and uninterrupted runs
+	// indistinguishable in their record bytes.
+	Resume []analysis.Record
 	// DiscardRecords drops Result.Records: the report still comes from
 	// the online aggregator and records still stream to Sink, but the
 	// campaign stops materializing the full record slice — memory stays
@@ -131,6 +141,9 @@ type Result struct {
 	ExecTime time.Duration
 	// Errors counts experiments aborted by infrastructure errors.
 	Errors int
+	// Replayed counts records seeded from Campaign.Resume instead of
+	// executed (0 for a fresh run).
+	Replayed int
 	// Mutated counts experiments that ran the compile-time mutation
 	// path (source rewrite + single-file program derivation); Injected
 	// counts experiments that ran the runtime injection path, which
@@ -266,7 +279,49 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 	if !c.DiscardRecords {
 		collect = executor.NewCollect(len(execPoints))
 	}
-	c.progress(PhaseExecute, 0, len(execPoints))
+
+	// --- Resume replay ---
+	// Records a previous run already produced are folded straight into
+	// the aggregator (and the collector), their plan indices marked done
+	// in the skip mask, and their path kinds re-derived — without
+	// executing anything — so the resumed run's Result and report are
+	// byte-identical to what one uninterrupted run would have produced.
+	// Stored records carry no plan index; the injection point's ID
+	// (file, function, window, spec) identifies it uniquely within the
+	// plan, so the bitmap is rebuilt by point identity.
+	var skip *executor.Mask
+	if len(c.Resume) > 0 {
+		skip = executor.NewMask(len(execPoints))
+		byID := make(map[string][]int, len(execPoints))
+		for i, pt := range execPoints {
+			byID[pt.ID()] = append(byID[pt.ID()], i)
+		}
+		for _, rec := range c.Resume {
+			id := rec.Point.ID()
+			idxs := byID[id]
+			if len(idxs) == 0 {
+				continue // not in this plan (stale or foreign record)
+			}
+			byID[id] = idxs[1:]
+			i := idxs[0]
+			skip.Set(i)
+			res.Replayed++
+			agg.Add(rec)
+			if rec.Result == nil {
+				res.Errors++
+			}
+			switch runner.KindOf(i) {
+			case KindMutated:
+				runner.mutated.Add(1)
+			case KindInjected:
+				runner.injected.Add(1)
+			}
+			if collect != nil {
+				collect.Put(i, rec)
+			}
+		}
+	}
+	c.progress(PhaseExecute, res.Replayed, len(execPoints))
 	execStart := time.Now()
 	// The remote executor needs the resolved plan context — coverage
 	// verdicts and the exec-point list — to complete the campaign spec
@@ -274,6 +329,21 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 	// plan so a worker that derived a different plan refuses the shard.
 	if rm, ok := exec.(*executor.Remote); ok {
 		rm.SetPlanContext(covered, execPoints)
+	}
+	// Hand the completion bitmap to whichever engine runs the missing
+	// indices. Value engines are copied (the caller's Executor field is
+	// a template, not shared state).
+	if skip != nil {
+		switch e := exec.(type) {
+		case executor.Local:
+			e.Skip = skip
+			exec = e
+		case executor.Sharded:
+			e.Skip = skip
+			exec = e
+		case *executor.Remote:
+			e.Skip = skip
+		}
 	}
 	// Under the sharded engine, each shard contributes its own span to
 	// the campaign timeline (offsets are rebased from Run start to
@@ -299,7 +369,7 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 		}
 		return runner.Experiment(i)
 	}
-	done := 0
+	done := res.Replayed
 	sink := executor.SinkFunc(func(idx int, rec analysis.Record) {
 		agg.Add(rec)
 		met.experiment(rec.Result == nil)

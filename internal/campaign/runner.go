@@ -205,6 +205,39 @@ func (r *Runner) ExperimentDetail(i int) (analysis.Record, string) {
 	return rec, kind
 }
 
+// KindOf reports which execution path the experiment at plan index i
+// takes — KindMutated, KindInjected or KindError — without running its
+// workload. The path decision depends only on the faultload, the
+// scanned sources and the plan-index-derived seed, all deterministic,
+// so KindOf mirrors ExperimentDetail's kind exactly; a resumed campaign
+// uses it to account replayed records the same way the original
+// execution did (workload failures still count their kind, so a nil
+// Result does not mean KindError).
+func (r *Runner) KindOf(i int) string {
+	pt := r.points[i]
+	if rf, ok := r.rtFaults[pt.Spec]; ok {
+		fault := *rf
+		fault.Site = pt.Func
+		seed := r.c.Seed + int64(i) + 1
+		if _, err := runtimefault.NewEngine([]runtimefault.Fault{fault}, seed); err != nil {
+			return KindError
+		}
+		return KindInjected
+	}
+	mm, ok := r.models[pt.Spec]
+	if !ok {
+		return KindError
+	}
+	pf, err := r.cache.Get(pt.File)
+	if err != nil {
+		return KindError
+	}
+	if _, err := mutator.ApplyParsed(pf, mm, pt, mutator.Options{Triggered: true}); err != nil {
+		return KindError
+	}
+	return KindMutated
+}
+
 // Program exposes the compiled base program (nil when the campaign
 // fell back to the tree-walk interpreter).
 func (r *Runner) Program() *interp.Program { return r.wcfg.Program }

@@ -97,6 +97,10 @@ type indexed struct {
 type Local struct {
 	// Workers bounds parallel experiments (<1 runs sequentially).
 	Workers int
+	// Skip, when set, marks plan indices that already have records (a
+	// resumed campaign's completion bitmap): they are neither executed
+	// nor emitted. Nil runs the full plan.
+	Skip *Mask
 	// Reg, when set, instruments the run: completed records,
 	// per-experiment latency and busy workers (see newMetrics).
 	Reg *obs.Registry
@@ -112,23 +116,43 @@ func (l Local) Run(ctx context.Context, n int, exp Experiment, sink RecordSink) 
 	}
 	m := newMetrics(l.Reg, l.Name())
 	exp = m.instrument(exp)
-	runPool(0, n, l.Workers, exp, func(r indexed) {
+	runPool(0, n, l.Workers, l.Skip, exp, func(r indexed) {
 		m.record()
 		sink.Put(r.idx, r.rec)
 	})
 	return nil
 }
 
-// runPool executes experiments [lo, hi) on a bounded worker pool,
-// delivering each record to emit from the calling goroutine — the one
-// pump shared by Local and Sharded's per-shard pools.
-func runPool(lo, hi, workers int, exp Experiment, emit func(indexed)) {
+// missing counts the indices of [lo, hi) not marked done in skip.
+func missing(lo, hi int, skip *Mask) int {
 	n := hi - lo
+	if skip != nil {
+		for i := lo; i < hi; i++ {
+			if skip.Has(i) {
+				n--
+			}
+		}
+	}
+	return n
+}
+
+// runPool executes the experiments of [lo, hi) not masked by skip on a
+// bounded worker pool, delivering each record to emit from the calling
+// goroutine — the one pump shared by Local and Sharded's per-shard
+// pools.
+func runPool(lo, hi, workers int, skip *Mask, exp Experiment, emit func(indexed)) {
+	n := missing(lo, hi, skip)
+	if n == 0 {
+		return
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := lo; i < hi; i++ {
+			if skip.Has(i) {
+				continue
+			}
 			emit(indexed{i, exp(i)})
 		}
 		return
@@ -144,6 +168,9 @@ func runPool(lo, hi, workers int, exp Experiment, emit func(indexed)) {
 	}
 	go func() {
 		for i := lo; i < hi; i++ {
+			if skip.Has(i) {
+				continue
+			}
 			jobs <- i
 		}
 		close(jobs)
@@ -182,6 +209,11 @@ type Sharded struct {
 	// the shard's own goroutine when the shard drains; must be safe for
 	// concurrent use.
 	OnShardSpan func(shard int, startNS, endNS int64)
+	// Skip marks already-recorded plan indices of a resumed campaign.
+	// Shard geometry is computed over the full plan — it must stay
+	// identical to the uninterrupted run's — and the skipped indices are
+	// simply not executed inside their shards.
+	Skip *Mask
 	// Reg, when set, instruments the run: completed records,
 	// per-experiment latency, busy workers and shard latency.
 	Reg *obs.Registry
@@ -244,7 +276,7 @@ func (s Sharded) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 	totals := make([]int, shards)
 	for si := 0; si < shards; si++ {
 		lo, hi := Shard(n, shards, si)
-		totals[si] = hi - lo
+		totals[si] = missing(lo, hi, s.Skip)
 		stream := make(chan indexed, workers)
 		go s.runShard(si, lo, hi, workers, exp, stream, m, t0)
 		open.Add(1)
@@ -278,7 +310,7 @@ func (s Sharded) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 // offsets) is measured here, in the shard's own goroutine.
 func (s Sharded) runShard(si, lo, hi, workers int, exp Experiment, stream chan<- indexed, m *emetrics, t0 time.Time) {
 	start := time.Now()
-	runPool(lo, hi, workers, exp, func(r indexed) { stream <- r })
+	runPool(lo, hi, workers, s.Skip, exp, func(r indexed) { stream <- r })
 	end := time.Now()
 	m.shard(end.Sub(start))
 	if s.OnShardSpan != nil {

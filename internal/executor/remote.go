@@ -54,6 +54,11 @@ type Remote struct {
 	// after one sweep interval). Leases still expire and re-dispatch;
 	// use it when workers are known to be coming.
 	WaitForWorkers bool
+	// Skip marks already-recorded plan indices of a resumed campaign:
+	// they are pre-marked delivered on the fleet job (so neither workers
+	// nor the local fallback produce records for them) and fully-covered
+	// shards complete without ever being leased.
+	Skip *Mask
 	// Reg, when set, instruments the run like the other engines.
 	Reg *obs.Registry
 
@@ -108,7 +113,7 @@ func (r *Remote) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 	exp = m.instrument(exp)
 	if r.Coord == nil {
 		// No coordinator: behave exactly like Local.
-		runPool(0, n, r.LocalWorkers, exp, func(rec indexed) {
+		runPool(0, n, r.LocalWorkers, r.Skip, exp, func(rec indexed) {
 			m.record()
 			sink.Put(rec.idx, rec.rec)
 		})
@@ -130,6 +135,13 @@ func (r *Remote) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 	}
 	job := r.Coord.StartJob(campID, r.Spec, n, ranges)
 	defer r.Coord.CloseJob(campID)
+	if r.Skip.Count() > 0 {
+		// Resumed campaign: retire the already-recorded indices before
+		// anything executes. Shards they fully cover complete without a
+		// lease; partially-covered shards still run whole on a worker,
+		// whose duplicate records the per-index dedup discards.
+		r.Coord.PredeliverJob(campID, r.Skip.Has)
+	}
 
 	// Local fallback executor: claims unfinished shards off the fleet
 	// and runs them in-process, delivering through the same dedup path
@@ -140,7 +152,7 @@ func (r *Remote) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 	var wg sync.WaitGroup
 	localShard := func(lo, hi int) {
 		defer wg.Done()
-		runPool(lo, hi, r.LocalWorkers, func(i int) analysis.Record {
+		runPool(lo, hi, r.LocalWorkers, r.Skip, func(i int) analysis.Record {
 			if job.IsDelivered(i) {
 				// Another executor already delivered this index (a
 				// worker finished it before losing its lease); the

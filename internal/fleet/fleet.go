@@ -391,6 +391,57 @@ func (c *Coordinator) StartJob(campaign string, spec remote.CampaignSpec, n int,
 	return job
 }
 
+// PredeliverJob marks plan indices that already have durable records
+// (a resumed campaign's completion bitmap) as delivered without
+// emitting them: workers and the local fallback will not produce fresh
+// records for them, and pending shards they fully cover complete
+// without ever being leased. Call right after StartJob, before the
+// delivery channel is drained. Returns the number of indices retired.
+// Lock order here is coordinator then job, matching Ingest's
+// unlock-then-deliver sequence (Job methods never take the coordinator
+// lock).
+func (c *Coordinator) PredeliverJob(campaign string, done func(int) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	job, ok := c.jobs[campaign]
+	if !ok {
+		return 0
+	}
+	job.mu.Lock()
+	marked := 0
+	for i := 0; i < job.n; i++ {
+		if !job.delivered[i] && done(i) {
+			job.delivered[i] = true
+			job.remaining--
+			marked++
+		}
+	}
+	if job.remaining == 0 && !job.closed {
+		close(job.deliveries)
+		job.closed = true
+	}
+	covered := func(lo, hi int) bool {
+		for i := lo; i < hi; i++ {
+			if !job.delivered[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range job.shards {
+		sh := &job.shards[i]
+		if sh.state == shardPending && covered(sh.lo, sh.hi) {
+			sh.state = shardDone
+		}
+	}
+	job.mu.Unlock()
+	if marked > 0 {
+		c.cfg.Log.Info("fleet: predelivered resumed indices",
+			"campaign", campaign, "records", marked)
+	}
+	return marked
+}
+
 // CloseJob removes a finished campaign; outstanding leases become
 // stale (their tokens stop validating).
 func (c *Coordinator) CloseJob(campaign string) {

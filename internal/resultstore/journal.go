@@ -1,0 +1,182 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+)
+
+// Job journal states recorded in JournalEntry.State. They mirror the
+// scheduler's lifecycle; the journal is written ahead of the work
+// (queued at submit, running at task start, one terminal state at
+// finish), so a crashed process's journal tells the next process
+// exactly which jobs still owe execution.
+const (
+	JournalQueued   = "queued"
+	JournalRunning  = "running"
+	JournalDone     = "done"
+	JournalFailed   = "failed"
+	JournalCanceled = "canceled"
+)
+
+// JournalEntry is one write-ahead record of a campaign job's lifecycle.
+// The submit-time entry carries the full serialized request in Payload,
+// so recovery can rebuild the campaign with no other state surviving;
+// later transitions carry only the state.
+type JournalEntry struct {
+	Job      string `json:"job"`
+	State    string `json:"state"`
+	Campaign string `json:"campaign,omitempty"`
+	// Name is the job's display name (the project name), replayed into
+	// the scheduler on recovery.
+	Name string `json:"name,omitempty"`
+	// Payload is the opaque serialized submission (the SaaS layer's
+	// request plus its project file snapshot).
+	Payload json.RawMessage `json:"payload,omitempty"`
+	TimeMS  int64           `json:"timeMs,omitempty"`
+}
+
+// Terminal reports whether the entry's state ends the job's lifecycle.
+func (e JournalEntry) Terminal() bool {
+	return e.State == JournalDone || e.State == JournalFailed || e.State == JournalCanceled
+}
+
+// journalRank orders states so folding is append-order independent:
+// a late-arriving "queued" line can never downgrade a job the journal
+// already saw running or finished.
+func journalRank(state string) int {
+	switch state {
+	case JournalQueued:
+		return 1
+	case JournalRunning:
+		return 2
+	case JournalDone, JournalFailed, JournalCanceled:
+		return 3
+	}
+	return 0
+}
+
+const journalFile = "journal.jsonl"
+
+// AppendJournal writes one job lifecycle entry ahead of the work it
+// describes. The line is fsync'd before AppendJournal returns — this is
+// the store's write-ahead durability point — and folded into the
+// in-memory pending view (terminal entries retire the job from it).
+// Memory-only stores fold without persisting.
+func (s *Store) AppendJournal(e JournalEntry) error {
+	if e.Job == "" || journalRank(e.State) == 0 {
+		return fmt.Errorf("resultstore: journal entry needs a job and a known state (got %q/%q)", e.Job, e.State)
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("resultstore: journal: %w", err)
+	}
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	s.foldJournalLocked(e)
+	if s.journalF == nil {
+		return nil
+	}
+	if _, err := s.journalF.Write(append(line, '\n')); err != nil {
+		s.met.writeError()
+		return fmt.Errorf("resultstore: journal append: %w", err)
+	}
+	if err := s.journalF.Sync(); err != nil {
+		s.met.writeError()
+		return fmt.Errorf("resultstore: journal sync: %w", err)
+	}
+	s.met.fsync()
+	return nil
+}
+
+// foldJournalLocked merges one entry into the pending-job view; callers
+// hold journalMu. Terminal states delete the job (the file keeps its
+// history until the next open-time compaction), non-terminal states
+// upgrade by rank and fill in fields the first entry carried.
+func (s *Store) foldJournalLocked(e JournalEntry) {
+	if e.Terminal() {
+		if _, ok := s.journalPend[e.Job]; ok {
+			delete(s.journalPend, e.Job)
+			for i, id := range s.journalOrder {
+				if id == e.Job {
+					s.journalOrder = append(s.journalOrder[:i], s.journalOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	cur, ok := s.journalPend[e.Job]
+	if !ok {
+		cp := e
+		s.journalPend[e.Job] = &cp
+		s.journalOrder = append(s.journalOrder, e.Job)
+		return
+	}
+	if journalRank(e.State) >= journalRank(cur.State) {
+		cur.State = e.State
+	}
+	if cur.Campaign == "" {
+		cur.Campaign = e.Campaign
+	}
+	if cur.Name == "" {
+		cur.Name = e.Name
+	}
+	if cur.Payload == nil {
+		cur.Payload = e.Payload
+	}
+}
+
+// PendingJobs returns the folded journal view of jobs that never
+// reached a terminal state: what a recovering control plane must
+// re-enqueue (queued) or resume (running). Entries appear in
+// first-journaled order.
+func (s *Store) PendingJobs() []JournalEntry {
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	out := make([]JournalEntry, 0, len(s.journalOrder))
+	for _, id := range s.journalOrder {
+		out = append(out, *s.journalPend[id])
+	}
+	return out
+}
+
+// loadJournal replays and compacts the job journal at open. Replay
+// tolerates torn writes the same way segments do — only complete,
+// valid JSON lines count — then the file is atomically rewritten to
+// hold just one folded snapshot per still-pending job, so the journal's
+// size is bounded by the live job count rather than the daemon's
+// lifetime submission history.
+func (s *Store) loadJournal() error {
+	path := filepath.Join(s.dir, journalFile)
+	dropped := 0
+	if data, err := os.ReadFile(path); err == nil {
+		for _, line := range completeLines(data) {
+			var e JournalEntry
+			if !json.Valid(line) || json.Unmarshal(line, &e) != nil || e.Job == "" {
+				dropped++
+				continue
+			}
+			s.foldJournalLocked(e)
+		}
+	}
+	if dropped > 0 {
+		slog.Warn("resultstore: dropped corrupt job journal lines", "lines", dropped)
+	}
+	var compact []byte
+	for _, id := range s.journalOrder {
+		compact = append(compact, mustJSON(s.journalPend[id])...)
+		compact = append(compact, '\n')
+	}
+	if err := writeFileSync(path, compact); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.journalF = f
+	return nil
+}

@@ -1,0 +1,276 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"profipy/internal/obs"
+)
+
+func appendJournal(t *testing.T, s *Store, job, state string) {
+	t.Helper()
+	if err := s.AppendJournal(JournalEntry{Job: job, State: state, TimeMS: 1}); err != nil {
+		t.Fatalf("journal %s %s: %v", job, state, err)
+	}
+}
+
+func pendingIDs(s *Store) []string {
+	var ids []string
+	for _, e := range s.PendingJobs() {
+		ids = append(ids, e.Job+":"+e.State)
+	}
+	return ids
+}
+
+func TestJournalFoldPrecedence(t *testing.T) {
+	for _, dir := range []string{"", t.TempDir()} {
+		name := "memory"
+		if dir != "" {
+			name = "disk"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// queued → running upgrades in place; terminal retires the job;
+			// a late stale "queued" after terminal must not resurrect it.
+			if err := s.AppendJournal(JournalEntry{
+				Job: "job-1", State: JournalQueued, Campaign: "camp-1", Name: "p",
+				Payload: json.RawMessage(`{"x":1}`), TimeMS: 1,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			appendJournal(t, s, "job-2", JournalQueued)
+			appendJournal(t, s, "job-1", JournalRunning)
+			got := pendingIDs(s)
+			want := []string{"job-1:" + JournalRunning, "job-2:" + JournalQueued}
+			if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+				t.Fatalf("pending = %v, want %v", got, want)
+			}
+			// The running upgrade must keep the queued entry's payload.
+			if p := s.PendingJobs()[0]; string(p.Payload) != `{"x":1}` || p.Campaign != "camp-1" {
+				t.Fatalf("upgrade lost payload: %+v", p)
+			}
+			appendJournal(t, s, "job-2", JournalDone)
+			appendJournal(t, s, "job-1", JournalFailed)
+			if got := pendingIDs(s); len(got) != 0 {
+				t.Fatalf("pending after terminal = %v, want none", got)
+			}
+			// A running entry with no prior queued entry still pends.
+			appendJournal(t, s, "job-3", JournalRunning)
+			if got := pendingIDs(s); len(got) != 1 || got[0] != "job-3:"+JournalRunning {
+				t.Fatalf("pending = %v", got)
+			}
+			if err := s.AppendJournal(JournalEntry{Job: "", State: JournalQueued}); err == nil {
+				t.Fatal("journal accepted empty job ID")
+			}
+		})
+	}
+}
+
+func TestJournalSurvivesRestartAndCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendJournal(t, s, "job-1", JournalQueued)
+	appendJournal(t, s, "job-1", JournalRunning)
+	appendJournal(t, s, "job-2", JournalQueued)
+	appendJournal(t, s, "job-3", JournalQueued)
+	appendJournal(t, s, "job-3", JournalDone)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn final append: half a JSON line at the tail must be
+	// dropped without poisoning the records before it.
+	jp := filepath.Join(dir, "journal.jsonl")
+	f, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"job":"job-9","state":"que`); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pendingIDs(s2)
+	want := []string{"job-1:" + JournalRunning, "job-2:" + JournalQueued}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("pending after reload = %v, want %v", got, want)
+	}
+	// Open compacted the journal: one folded line per pending job, the
+	// terminal and torn lines gone.
+	data, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("compacted journal has %d lines, want 2:\n%s", len(lines), data)
+	}
+	// And appends after the compaction still land.
+	appendJournal(t, s2, "job-4", JournalQueued)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pendingIDs(s3); len(got) != 3 {
+		t.Fatalf("pending after second reload = %v", got)
+	}
+}
+
+func TestResumeCampaignAppendsToFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSegmentRecords(4)
+	w, err := s.StartCampaign(Meta{ID: "camp-1", Project: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 6) // one rolled segment + open tail
+	_ = s.Close()    // crash-like: campaign never finished
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta, _ := s2.Get("camp-1"); meta.Status != StatusInterrupted {
+		t.Fatalf("reloaded status = %q, want %q", meta.Status, StatusInterrupted)
+	}
+	if _, err := s2.ResumeCampaign("camp-9"); err == nil {
+		t.Fatal("resumed unknown campaign")
+	}
+	w2, err := s2.ResumeCampaign("camp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta, _ := s2.Get("camp-1"); meta.Status != StatusRunning {
+		t.Fatalf("resumed status = %q, want %q", meta.Status, StatusRunning)
+	}
+	if _, err := s2.ResumeCampaign("camp-1"); err == nil {
+		t.Fatal("double resume succeeded")
+	}
+	for i := 6; i < 10; i++ {
+		if err := w2.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Finish(StatusDone, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if lines := recordLines(t, s2, "camp-1"); len(lines) != 10 {
+		t.Fatalf("resumed campaign has %d records, want 10", len(lines))
+	}
+	// The resumed writer must have started a new segment file rather
+	// than appending to the possibly-torn tail of the crashed one.
+	segs, _ := filepath.Glob(filepath.Join(dir, "campaigns", "camp-1", "records-*.jsonl"))
+	if len(segs) < 3 {
+		t.Fatalf("expected >=3 segment files after resume, got %v", segs)
+	}
+	// A finished campaign cannot be resumed.
+	if _, err := s2.ResumeCampaign("camp-1"); err == nil {
+		t.Fatal("resumed a done campaign")
+	}
+	// And the records all survive another restart.
+	_ = s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := recordLines(t, s3, "camp-1"); len(lines) != 10 {
+		t.Fatalf("after reload: %d records, want 10", len(lines))
+	}
+}
+
+func TestWriteErrorDegradesCampaignButKeepsReads(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Instrument(reg)
+	s.SetSegmentRecords(2)
+	w, err := s.StartCampaign(Meta{ID: "camp-1", Project: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break the campaign directory out from under the writer before the
+	// first append (segments open lazily), so the segment create fails —
+	// a full disk looks the same.
+	s.mu.Lock()
+	c := s.camps["camp-1"]
+	s.mu.Unlock()
+	c.mu.Lock()
+	c.dir = filepath.Join(dir, "gone", "camp-1")
+	c.mu.Unlock()
+
+	for i := 0; i < 5; i++ {
+		if err := w.Append(testRecord(i)); err != nil {
+			t.Fatalf("append after degradation returned error: %v", err)
+		}
+	}
+	// Reads keep serving every record, including the memory-only ones.
+	if lines := recordLines(t, s, "camp-1"); len(lines) != 5 {
+		t.Fatalf("degraded campaign serves %d records, want 5", len(lines))
+	}
+	if err := w.Finish(StatusDone, nil, nil); err == nil {
+		t.Fatal("Finish on a degraded campaign did not surface the write error")
+	}
+	meta, _ := s.Get("camp-1")
+	if meta.Status != StatusDegraded {
+		t.Fatalf("status = %q, want %q", meta.Status, StatusDegraded)
+	}
+	if meta.Error == "" {
+		t.Fatal("degraded campaign has no error message")
+	}
+	if v := reg.Counter("profipy_resultstore_write_errors_total", "").Value(); v < 1 {
+		t.Fatalf("write_errors_total = %v, want >= 1", v)
+	}
+}
+
+func TestRestoreSalvagesTornMeta(t *testing.T) {
+	dir := t.TempDir()
+	cdir := writeCampaign(t, dir, "camp-1", 5)
+	// Torn meta.json: half a JSON object, as after a crash mid-rename on
+	// a filesystem without atomic rename (or a corrupted sector).
+	if err := os.WriteFile(filepath.Join(cdir, "meta.json"), []byte(`{"id":"camp-`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, ok := s.Get("camp-1")
+	if !ok {
+		t.Fatal("campaign with torn meta was dropped")
+	}
+	if meta.Status != StatusInterrupted {
+		t.Fatalf("salvaged status = %q, want %q", meta.Status, StatusInterrupted)
+	}
+	if lines := recordLines(t, s, "camp-1"); len(lines) != 5 {
+		t.Fatalf("salvaged campaign serves %d records, want 5", len(lines))
+	}
+	if _, err := os.Stat(filepath.Join(cdir, "meta.json.bad")); err != nil {
+		t.Fatalf("torn meta not quarantined: %v", err)
+	}
+	// The salvaged campaign is resumable.
+	if _, err := s.ResumeCampaign("camp-1"); err != nil {
+		t.Fatalf("resume salvaged campaign: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ type storeMetrics struct {
 	appends     *obs.Counter
 	bytes       *obs.Counter
 	fsyncs      *obs.Counter
+	writeErrors *obs.Counter
 	subscribers *obs.Gauge
 }
 
@@ -25,7 +26,9 @@ func (s *Store) Instrument(reg *obs.Registry) {
 		bytes: reg.Counter("profipy_resultstore_bytes_total",
 			"Record bytes written to segment storage (including newlines)."),
 		fsyncs: reg.Counter("profipy_resultstore_fsyncs_total",
-			"Durability points: segment-roll syncs and atomic meta/report writes."),
+			"Durability points: segment-roll syncs, journal appends and atomic meta/report writes."),
+		writeErrors: reg.Counter("profipy_resultstore_write_errors_total",
+			"Segment or journal write failures; each degrades the affected campaign to memory-only records."),
 		subscribers: reg.Gauge("profipy_resultstore_follow_subscribers",
 			"Live Follow streams currently attached to campaigns."),
 	}
@@ -41,6 +44,12 @@ func (m *storeMetrics) append(n int) {
 func (m *storeMetrics) fsync() {
 	if m != nil {
 		m.fsyncs.Inc()
+	}
+}
+
+func (m *storeMetrics) writeError() {
+	if m != nil {
+		m.writeErrors.Inc()
 	}
 }
 

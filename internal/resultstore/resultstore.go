@@ -20,6 +20,7 @@
 //	campaigns/<id>/report.json          final analysis report
 //	campaigns/<id>/records-NNNNNN.jsonl record segments, SegmentRecords lines each
 //	jobs.jsonl                          terminal job snapshots, one JSON per line
+//	journal.jsonl                       write-ahead job journal, fsync per entry
 package resultstore
 
 import (
@@ -42,6 +43,10 @@ const (
 	StatusCanceled    = "canceled"
 	StatusFailed      = "failed"
 	StatusInterrupted = "interrupted" // found still "running" at reopen
+	// StatusDegraded marks a campaign that completed but lost segment
+	// durability mid-stream (disk full, EIO): the report and the records
+	// still in memory serve reads, Meta.Error carries the write failure.
+	StatusDegraded = "degraded"
 )
 
 // DefaultSegmentRecords is the segment roll threshold.
@@ -74,6 +79,9 @@ type Meta struct {
 	Phases     json.RawMessage `json:"phases,omitempty"`
 	CreatedMS  int64           `json:"createdMs,omitempty"`
 	FinishedMS int64           `json:"finishedMs,omitempty"`
+	// Error surfaces the stream's first write failure for campaigns that
+	// finished degraded.
+	Error string `json:"error,omitempty"`
 }
 
 // Page is one page of a campaign's record stream.
@@ -111,7 +119,15 @@ type campaign struct {
 	file  *os.File // open segment file (disk mode, while writing)
 	seq   int64    // records appended
 	live  bool     // a Writer is attached
-	watch chan struct{}
+	// nextSeg numbers the next segment file. It advances past every
+	// segment ever created in the directory — including quarantined
+	// ones — so a resumed campaign can never append into a file whose
+	// tail may be torn.
+	nextSeg int
+	// degraded marks a campaign whose segment stream hit a write error:
+	// file writes stop, records keep accumulating in memory for reads.
+	degraded bool
+	watch    chan struct{}
 	// report caches the final report bytes once loaded or finished.
 	report []byte
 	werr   error // first write error, surfaced at Finish
@@ -135,6 +151,15 @@ type Store struct {
 	jobsFile *os.File
 	jobs     []json.RawMessage
 
+	// The write-ahead job journal (journal.go): journalPend is the
+	// folded view of jobs with no terminal entry yet, journalOrder their
+	// first-journaled order, journalF the fsync-per-append file handle
+	// (nil when memory-only).
+	journalMu    sync.Mutex
+	journalF     *os.File
+	journalPend  map[string]*JournalEntry
+	journalOrder []string
+
 	// met is set once by Instrument before traffic; nil = uninstrumented.
 	met *storeMetrics
 }
@@ -149,6 +174,7 @@ func Open(dir string) (*Store, error) {
 		segmentRecords:  DefaultSegmentRecords,
 		retainCampaigns: DefaultRetainCampaigns,
 		camps:           map[string]*campaign{},
+		journalPend:     map[string]*JournalEntry{},
 	}
 	if dir == "" {
 		return s, nil
@@ -160,6 +186,9 @@ func Open(dir string) (*Store, error) {
 		return nil, err
 	}
 	if err := s.loadJobs(); err != nil {
+		return nil, err
+	}
+	if err := s.loadJournal(); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -224,16 +253,32 @@ func (s *Store) loadCampaigns() error {
 			continue
 		}
 		cdir := filepath.Join(s.dir, "campaigns", e.Name())
-		metaData, err := os.ReadFile(filepath.Join(cdir, "meta.json"))
-		if err != nil {
-			continue // half-created campaign directory; skip
-		}
+		metaPath := filepath.Join(cdir, "meta.json")
+		metaData, err := os.ReadFile(metaPath)
 		var meta Meta
-		if err := json.Unmarshal(metaData, &meta); err != nil || meta.ID == "" {
-			continue
+		if err != nil || json.Unmarshal(metaData, &meta) != nil || meta.ID == "" {
+			// Torn or missing meta. The meta write is atomic, so this is
+			// either a half-created campaign directory (no records — skip
+			// it) or real corruption next to surviving segments; those
+			// records are too valuable to drop, so quarantine the bad
+			// meta and resurrect the campaign as interrupted.
+			if segs, _ := filepath.Glob(filepath.Join(cdir, "records-*.jsonl")); len(segs) == 0 {
+				continue
+			}
+			if metaData != nil {
+				if rerr := os.Rename(metaPath, metaPath+".bad"); rerr != nil {
+					return fmt.Errorf("resultstore: quarantining corrupt meta: %w", rerr)
+				}
+			}
+			slog.Warn("resultstore: rebuilt campaign with corrupt meta",
+				"campaign", e.Name())
+			meta = Meta{ID: e.Name(), Status: StatusInterrupted}
 		}
 		if meta.Status == StatusRunning {
 			meta.Status = StatusInterrupted
+		}
+		if _, dup := s.camps[meta.ID]; dup || sanitizeID(meta.ID) != nil || meta.ID != e.Name() {
+			continue // meta claiming another directory's identity
 		}
 		c := &campaign{meta: meta, dir: cdir}
 		if err := c.loadSegments(); err != nil {
@@ -261,6 +306,10 @@ func (c *campaign) loadSegments() error {
 	sort.Strings(names)
 	var start int64
 	for _, path := range names {
+		var idx int
+		if _, err := fmt.Sscanf(filepath.Base(path), "records-%d.jsonl", &idx); err == nil && idx >= c.nextSeg {
+			c.nextSeg = idx + 1
+		}
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return fmt.Errorf("resultstore: %w", err)

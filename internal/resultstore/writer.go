@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
@@ -68,10 +69,52 @@ func (s *Store) StartCampaign(meta Meta) (*Writer, error) {
 	return &Writer{s: s, c: c}, nil
 }
 
+// ResumeCampaign reattaches a Writer to a campaign a previous process
+// left behind mid-run (StatusInterrupted after a crash or shutdown):
+// the surviving segments stay read-only, new records append into a
+// fresh segment — never into a file whose trailing write may be torn —
+// and the metadata goes back to StatusRunning. The caller is expected
+// to replay the stored records into its aggregation and execute only
+// the missing plan indices.
+func (s *Store) ResumeCampaign(id string) (*Writer, error) {
+	c, ok := s.camp(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	c.mu.Lock()
+	if c.live {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("resultstore: campaign %s already has a writer", id)
+	}
+	if c.meta.Status == StatusDone || c.meta.Status == StatusDegraded {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("resultstore: campaign %s already finished", id)
+	}
+	c.live = true
+	c.meta.Status = StatusRunning
+	c.meta.FinishedMS = 0
+	c.meta.Error = ""
+	meta := c.meta
+	dir := c.dir
+	c.mu.Unlock()
+	if dir != "" {
+		if err := writeFileSync(filepath.Join(dir, "meta.json"), mustJSON(meta)); err != nil {
+			c.mu.Lock()
+			c.live = false
+			c.mu.Unlock()
+			return nil, err
+		}
+		s.met.fsync()
+	}
+	return &Writer{s: s, c: c}, nil
+}
+
 // Append streams one completed experiment record into the campaign's
 // current segment. The line reaches the OS immediately (live readers
 // and a graceful shutdown see it); fsync happens on segment roll and at
-// Finish. The first write error is retained and returned by Finish.
+// Finish. A file-level write failure does not reject the record: the
+// campaign degrades to memory-only persistence (reads keep serving,
+// Finish reports StatusDegraded) and the first error is retained.
 func (w *Writer) Append(rec analysis.Record) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -81,13 +124,11 @@ func (w *Writer) Append(rec analysis.Record) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.open == nil {
-		if err := w.openSegmentLocked(); err != nil {
-			return w.failLocked(err)
-		}
+		w.openSegmentLocked()
 	}
 	if c.file != nil {
 		if _, err := c.file.Write(append(line, '\n')); err != nil {
-			return w.failLocked(fmt.Errorf("resultstore: append: %w", err))
+			w.degradeLocked(fmt.Errorf("resultstore: append: %w", err))
 		}
 	}
 	w.s.met.append(len(line) + 1)
@@ -97,51 +138,79 @@ func (w *Writer) Append(rec analysis.Record) error {
 	c.meta.Records = c.seq
 	c.notifyLocked()
 	if c.open.count >= w.s.segmentRecords {
-		if err := w.rollLocked(); err != nil {
-			return w.failLocked(err)
-		}
+		w.rollLocked()
 	}
 	return nil
 }
 
-// openSegmentLocked starts the next segment; callers hold c.mu.
-func (w *Writer) openSegmentLocked() error {
+// openSegmentLocked starts the next segment. A failure to create the
+// segment file degrades the campaign to memory-only records instead of
+// dropping them; callers hold c.mu.
+func (w *Writer) openSegmentLocked() {
 	c := w.c
 	seg := &segment{start: c.seq, lines: [][]byte{}}
-	if c.dir != "" {
-		seg.name = segName(len(c.segs) + 1)
+	if c.dir != "" && !c.degraded {
+		if c.nextSeg == 0 {
+			c.nextSeg = 1
+		}
+		seg.name = segName(c.nextSeg)
 		f, err := os.OpenFile(filepath.Join(c.dir, seg.name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			return fmt.Errorf("resultstore: segment: %w", err)
+			c.open = seg
+			w.degradeLocked(fmt.Errorf("resultstore: segment: %w", err))
+			return
 		}
+		c.nextSeg++
 		c.file = f
 	}
 	c.open = seg
-	return nil
 }
 
 // rollLocked closes the open segment with an fsync — the durability
-// point of the stream — and forgets its line cache in disk mode;
-// callers hold c.mu.
-func (w *Writer) rollLocked() error {
+// point of the stream — syncs the directory entry, and forgets the
+// segment's line cache in disk mode. A sync or close failure degrades
+// the campaign (the lines stay served from memory); callers hold c.mu.
+func (w *Writer) rollLocked() {
 	c := w.c
 	if c.open == nil {
-		return nil
+		return
 	}
 	if c.file != nil {
-		if err := c.file.Sync(); err != nil {
-			return fmt.Errorf("resultstore: sync segment: %w", err)
+		err := c.file.Sync()
+		if err == nil {
+			w.s.met.fsync()
+			err = c.file.Close()
+			c.file = nil
 		}
-		w.s.met.fsync()
-		if err := c.file.Close(); err != nil {
-			return fmt.Errorf("resultstore: close segment: %w", err)
+		if err != nil {
+			w.degradeLocked(fmt.Errorf("resultstore: roll segment: %w", err))
+		} else {
+			c.open.lines = nil // closed segments are re-read from disk
+			syncDir(c.dir)
 		}
-		c.file = nil
-		c.open.lines = nil // closed segments are re-read from disk
 	}
 	c.segs = append(c.segs, c.open)
 	c.open = nil
-	return nil
+}
+
+// degradeLocked switches the campaign to memory-only records after a
+// write failure: the file handle is dropped, the first error retained
+// for Finish (which will mark the campaign StatusDegraded), and every
+// later segment stays in memory so reads keep serving the full stream.
+// Callers hold c.mu.
+func (w *Writer) degradeLocked(err error) {
+	c := w.c
+	w.failLocked(err)
+	w.s.met.writeError()
+	if !c.degraded {
+		c.degraded = true
+		slog.Warn("resultstore: campaign degraded to memory-only records",
+			"campaign", c.meta.ID, "err", err)
+	}
+	if c.file != nil {
+		_ = c.file.Close()
+		c.file = nil
+	}
 }
 
 func (w *Writer) fail(err error) error {
@@ -182,7 +251,9 @@ func (w *Writer) Seq() int64 {
 // Finish seals the campaign: rolls the open segment (fsync), stores the
 // final report and summary, rewrites the metadata with the terminal
 // status, and wakes followers so live streams can end. It returns the
-// first error the stream hit, if any.
+// first error the stream hit, if any; a successful campaign whose
+// stream degraded finishes as StatusDegraded with the error surfaced
+// in Meta.Error.
 func (w *Writer) Finish(status string, summary any, report *analysis.Report) error {
 	c := w.c
 	c.mu.Lock()
@@ -190,10 +261,14 @@ func (w *Writer) Finish(status string, summary any, report *analysis.Report) err
 	if !c.live {
 		return fmt.Errorf("resultstore: campaign %s already finished", c.meta.ID)
 	}
-	if err := w.rollLocked(); err != nil {
-		w.failLocked(err)
-	}
+	w.rollLocked()
 	c.live = false
+	if status == StatusDone && c.werr != nil {
+		status = StatusDegraded
+	}
+	if c.werr != nil {
+		c.meta.Error = c.werr.Error()
+	}
 	c.meta.Status = status
 	c.meta.FinishedMS = time.Now().UnixMilli()
 	c.meta.Records = c.seq
@@ -269,6 +344,15 @@ func (s *Store) Close() error {
 		s.jobsFile = nil
 	}
 	s.jobsMu.Unlock()
+	s.journalMu.Lock()
+	if s.journalF != nil {
+		// Every journal append already fsync'd; just release the handle.
+		if err := s.journalF.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.journalF = nil
+	}
+	s.journalMu.Unlock()
 	return first
 }
 
@@ -329,7 +413,9 @@ func mustJSON(v any) []byte {
 }
 
 // writeFileSync writes data to path durably: temp file in the same
-// directory, fsync, atomic rename.
+// directory, fsync, atomic rename, directory fsync (so the rename
+// itself survives a power cut — a reader after a crash sees either the
+// old complete file or the new complete file, never a torn mix).
 func writeFileSync(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
@@ -351,5 +437,19 @@ func writeFileSync(path string, data []byte) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
+	syncDir(dir)
 	return nil
+}
+
+// syncDir fsyncs a directory so renames and newly created files in it
+// are durable. Best effort: some filesystems reject directory fsync,
+// and the data files themselves are already synced.
+func syncDir(dir string) {
+	if dir == "" {
+		return
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
 }

@@ -298,7 +298,7 @@ func TestCancelJobs(t *testing.T) {
 	}
 }
 
-func TestQueueFullReturns503(t *testing.T) {
+func TestQueueFullReturns429(t *testing.T) {
 	srv, ts := newAsyncTestServer(t, Options{Cores: 4, Workers: 1, QueueDepth: 1})
 	started, release := installGate(t, srv)
 	defer release()
@@ -310,8 +310,11 @@ func TestQueueFullReturns503(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp, out := postJSON(t, ts.URL+"/api/v1/campaigns", req)
-	if resp.StatusCode != http.StatusServiceUnavailable {
+	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit = %d: %v", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
 	}
 }
 

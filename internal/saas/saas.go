@@ -63,6 +63,10 @@ type CampaignRequest struct {
 	Entry         string   `json:"entry"`
 	WorkloadFiles []string `json:"workloadFiles,omitempty"`
 	TimeoutSec    int64    `json:"timeoutSec,omitempty"`
+	// Rounds overrides the workload rounds per experiment (0 keeps the
+	// paper's default). Longer workloads stretch campaign wall time —
+	// useful for soak and restart testing.
+	Rounds int `json:"rounds,omitempty"`
 	// Env selects the host environment: "kvclient" (etcd case study) or
 	// "plain" (hooks only).
 	Env string `json:"env,omitempty"`
@@ -152,6 +156,11 @@ type Server struct {
 	reg       *obs.Registry
 	fleet     *fleet.Coordinator
 	reqTimeout time.Duration
+	// Startup-recovery metrics: jobs re-admitted from the job journal by
+	// outcome (requeued/resumed/abandoned), and stored records replayed
+	// into resumed campaigns instead of re-executed.
+	recJobs     *obs.CounterVec
+	recReplayed *obs.Counter
 	// testProgressHook, when set (tests only, before serving), observes
 	// every campaign progress update after it reaches the scheduler; a
 	// blocking hook stalls the campaign, which tests use to inspect
@@ -241,14 +250,24 @@ func NewServerWithOptions(opt Options) (*Server, error) {
 			Reg:       opt.Metrics,
 		}),
 	}
+	s.recJobs = opt.Metrics.CounterVec("profipy_recovery_jobs_total",
+		"Journaled jobs re-admitted at startup, by outcome (requeued, resumed, abandoned).", "outcome")
+	s.recReplayed = opt.Metrics.Counter("profipy_recovery_replayed_records_total",
+		"Stored records replayed into resumed campaigns instead of re-executed.")
 	s.sched = scheduler.New(scheduler.Config{
 		Workers:    opt.Workers,
 		QueueDepth: opt.QueueDepth,
 		Retain:     opt.RetainJobs,
 		Metrics:    opt.Metrics,
 		// Journal every terminal job so /api/v1/jobs history survives
-		// restarts alongside the campaigns.
-		OnFinish: func(st scheduler.Status) { _ = s.store.AppendJob(jobView(st)) },
+		// restarts alongside the campaigns, and retire the job from the
+		// write-ahead journal so the next boot does not re-admit it.
+		OnFinish: func(st scheduler.Status) {
+			_ = s.store.AppendJob(jobView(st))
+			_ = s.store.AppendJournal(resultstore.JournalEntry{
+				Job: st.ID, State: journalState(st.State), TimeMS: time.Now().UnixMilli(),
+			})
+		},
 	})
 	// Preload the paper's case study as a demo project.
 	demo := &Project{ID: "demo-python-etcd", Name: "python-etcd", Files: map[string]string{}}
@@ -261,7 +280,21 @@ func NewServerWithOptions(opt Options) (*Server, error) {
 		retain = 256
 	}
 	s.restore(retain)
+	s.recover()
 	return s, nil
+}
+
+// journalState maps a scheduler terminal state to its journal record
+// state (running states never reach OnFinish).
+func journalState(st scheduler.State) string {
+	switch st {
+	case scheduler.Done:
+		return resultstore.JournalDone
+	case scheduler.Canceled:
+		return resultstore.JournalCanceled
+	default:
+		return resultstore.JournalFailed
+	}
 }
 
 // restore reloads completed campaigns and terminal job history from the
@@ -277,7 +310,7 @@ func (s *Server) restore(retainJobs int) {
 		if _, err := fmt.Sscanf(meta.ID, "camp-%d", &n); err == nil && n > maxCamp {
 			maxCamp = n
 		}
-		if meta.Status != resultstore.StatusDone {
+		if meta.Status != resultstore.StatusDone && meta.Status != resultstore.StatusDegraded {
 			continue // interrupted/canceled campaigns stay record-only
 		}
 		repData, err := s.store.Report(meta.ID)
@@ -481,6 +514,18 @@ func (s *Server) buildCampaign(req CampaignRequest) (*campaign.Campaign, string,
 	if !ok {
 		return nil, "", http.StatusNotFound, fmt.Sprintf("no such project: %s", req.Project)
 	}
+	files := make(map[string][]byte, len(proj.Files))
+	for name, content := range proj.Files {
+		files[name] = []byte(content)
+	}
+	return s.buildCampaignFrom(req, proj.Name, files)
+}
+
+// buildCampaignFrom assembles a campaign from an explicit project-file
+// snapshot instead of the live project map — the recovery path rebuilds
+// journaled jobs this way, because uploaded projects are in-memory only
+// and the journal carries its own copy of the files.
+func (s *Server) buildCampaignFrom(req CampaignRequest, projName string, files map[string][]byte) (*campaign.Campaign, string, int, string) {
 	specs := req.Specs
 	if req.Model != "" {
 		s.mu.RLock()
@@ -497,10 +542,8 @@ func (s *Server) buildCampaign(req CampaignRequest) (*campaign.Campaign, string,
 	if req.Entry == "" {
 		return nil, "", http.StatusBadRequest, "campaign needs a workload entry function"
 	}
-
-	files := make(map[string][]byte, len(proj.Files))
-	for name, content := range proj.Files {
-		files[name] = []byte(content)
+	if len(files) == 0 {
+		return nil, "", http.StatusBadRequest, "campaign needs project files"
 	}
 	names := scanner.SortedNames(files)
 	wlFiles := req.WorkloadFiles
@@ -528,6 +571,7 @@ func (s *Server) buildCampaign(req CampaignRequest) (*campaign.Campaign, string,
 			TimeoutNS:    timeout * 1_000_000_000,
 			MaxSteps:     20_000_000,
 			WallBudgetNS: req.ExperimentWallMS * 1_000_000,
+			Rounds:       req.Rounds,
 			Env:          env,
 		},
 		Runtime:    sandbox.NewRuntime(sandbox.RuntimeConfig{Cores: s.cores, Seed: req.Seed}),
@@ -560,6 +604,7 @@ func (s *Server) buildCampaign(req CampaignRequest) (*campaign.Campaign, string,
 				TimeoutNS:     timeout * 1_000_000_000,
 				MaxSteps:      20_000_000,
 				WallBudgetNS:  req.ExperimentWallMS * 1_000_000,
+				Rounds:        req.Rounds,
 				EnvName:       req.Env,
 				ImageName:     req.Project,
 				ImageMemMB:    256,
@@ -576,7 +621,7 @@ func (s *Server) buildCampaign(req CampaignRequest) (*campaign.Campaign, string,
 	case req.Shards > 0:
 		c.Executor = executor.Sharded{Shards: req.Shards, Workers: req.ShardWorkers, Reg: s.reg}
 	}
-	return c, proj.Name, 0, ""
+	return c, projName, 0, ""
 }
 
 // campaignIDFor derives the campaign ID from its job ID ("job-7" →
@@ -618,28 +663,46 @@ func (s *Server) attachPhases(id string, phases []trace.Span) {
 	s.mu.Unlock()
 }
 
-// handleRunCampaign validates the request synchronously, enqueues the
-// campaign on the scheduler, and returns 202 with a job ID. With
-// ?wait=true it blocks until the job finishes and answers like the old
-// synchronous API (201 + report).
-func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
-	var req CampaignRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad campaign json: %v", err)
-		return
-	}
-	c, projName, status, msg := s.buildCampaign(req)
-	if status != 0 {
-		httpError(w, status, "%s", msg)
-		return
-	}
+// journaledJob is the write-ahead journal payload of an accepted
+// campaign job: everything needed to rebuild and re-run (or resume) the
+// campaign in a later process. The faultload arrives pre-resolved and
+// the project files are snapshotted, because the model registry and the
+// project map are in-memory only and may be empty after a restart.
+type journaledJob struct {
+	Request CampaignRequest   `json:"request"`
+	Project string            `json:"project"`
+	Files   map[string][]byte `json:"files"`
+}
 
-	// The campaign ID derives from the job ID, which Submit allocates
-	// after the task closure exists; the buffered channel hands it in.
-	jobIDCh := make(chan string, 1)
-	task := func(ctx context.Context, report func(scheduler.Progress)) (any, error) {
-		jobID := <-jobIDCh
+// journalAccepted write-ahead-journals an accepted campaign job as
+// queued. Called between Submit and the job-ID handoff that lets the
+// task run, so the journal entry is durable before any work starts.
+func (s *Server) journalAccepted(jobID string, req CampaignRequest, projName string, c *campaign.Campaign) {
+	jreq := req
+	jreq.Specs = c.Faultload // resolved: model + inline specs merged
+	jreq.Model = ""
+	payload, err := json.Marshal(journaledJob{Request: jreq, Project: projName, Files: c.Files})
+	if err != nil {
+		payload = nil // journal the lifecycle anyway; recovery will abandon it
+	}
+	_ = s.store.AppendJournal(resultstore.JournalEntry{
+		Job: jobID, State: resultstore.JournalQueued,
+		Campaign: campaignIDFor(jobID), Name: req.Project,
+		Payload: payload, TimeMS: time.Now().UnixMilli(),
+	})
+}
+
+// campaignTask builds the scheduler task that runs one campaign.
+// jobIDFn supplies the job ID once it is known — a freshly submitted
+// task learns it from the handler after Submit returns, a recovered
+// task knows it upfront. If the campaign already has records in the
+// store (a re-admitted mid-flight job), the task resumes: stored
+// records are replayed into the campaign and only the missing
+// experiments execute, producing a report byte-identical to an
+// uninterrupted run.
+func (s *Server) campaignTask(req CampaignRequest, projName string, c *campaign.Campaign, jobIDFn func() string) scheduler.Task {
+	return func(ctx context.Context, report func(scheduler.Progress)) (any, error) {
+		jobID := jobIDFn()
 		campID := campaignIDFor(jobID)
 		// The remote executor keys its fleet job, leases and record
 		// streams by the campaign's public ID, so workers and operators
@@ -651,6 +714,10 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 		// IDs, so one campaign's records can be grepped out of a busy
 		// daemon's output.
 		ctx = obs.WithLog(ctx, "job", jobID, "campaign", campID)
+		_ = s.store.AppendJournal(resultstore.JournalEntry{
+			Job: jobID, State: resultstore.JournalRunning,
+			Campaign: campID, Name: req.Project, TimeMS: time.Now().UnixMilli(),
+		})
 		c.OnProgress = func(p campaign.Progress) {
 			report(scheduler.Progress{Phase: p.Phase, Done: p.Done, Total: p.Total})
 			if s.testProgressHook != nil {
@@ -660,9 +727,28 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 		// Stream every record into the store as it completes: live
 		// NDJSON followers and record pages see the campaign grow, and
 		// a shutdown mid-campaign loses nothing that reached the sink.
-		writer, werr := s.store.StartCampaign(resultstore.Meta{
-			ID: campID, Project: req.Project, Name: projName,
-		})
+		var writer *resultstore.Writer
+		var werr error
+		if meta, ok := s.store.Get(campID); ok {
+			// The campaign outlived a previous process.
+			if meta.Status == resultstore.StatusDone || meta.Status == resultstore.StatusDegraded {
+				// It finished before the crash — only the job's terminal
+				// state was lost. restore() already filed the report.
+				obs.Log(ctx).Info("campaign already complete, skipping re-run")
+				return campID, nil
+			}
+			writer, werr = s.store.ResumeCampaign(campID)
+			if werr == nil {
+				c.Resume = s.loadResume(campID)
+				s.recReplayed.Add(float64(len(c.Resume)))
+				obs.Log(ctx).Info("resuming campaign from stored records",
+					"replayed", len(c.Resume))
+			}
+		} else {
+			writer, werr = s.store.StartCampaign(resultstore.Meta{
+				ID: campID, Project: req.Project, Name: projName,
+			})
+		}
 		if werr != nil {
 			// The campaign still runs and reports from memory, but its
 			// records endpoints will 404 — say so where an operator
@@ -714,14 +800,123 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 		}
 		obs.Log(ctx).Info("campaign done",
 			"points", res.Report.Total, "covered", res.Report.Covered,
-			"failures", res.Report.Failures, "records", res.Mutated+res.Injected)
+			"failures", res.Report.Failures, "records", res.Mutated+res.Injected,
+			"replayed", res.Replayed)
 		return campID, nil
 	}
+}
+
+// loadResume pages every stored record of a campaign back into memory
+// for replay. Undecodable lines are skipped — their experiments simply
+// re-execute, which reproduces the identical record bytes.
+func (s *Server) loadResume(campID string) []analysis.Record {
+	var out []analysis.Record
+	var after int64
+	for {
+		page, err := s.store.Records(campID, after, 1000)
+		if err != nil || len(page.Records) == 0 {
+			return out
+		}
+		for _, raw := range page.Records {
+			var rec analysis.Record
+			if json.Unmarshal(raw, &rec) == nil {
+				out = append(out, rec)
+			}
+		}
+		if page.Next <= after {
+			return out
+		}
+		after = page.Next
+	}
+}
+
+// recover replays the write-ahead job journal at startup and re-admits
+// every job a previous process accepted but never finished: jobs that
+// were still queued re-run from scratch, mid-flight jobs resume from
+// their stored records (campaignTask detects the existing campaign).
+// Jobs whose payload cannot be rebuilt are journaled as failed so they
+// stop pending, with the failure visible in the job history.
+func (s *Server) recover() {
+	for _, e := range s.store.PendingJobs() {
+		outcome := "requeued"
+		if e.State == resultstore.JournalRunning {
+			outcome = "resumed"
+		}
+		var payload journaledJob
+		var c *campaign.Campaign
+		projName := ""
+		status, msg := 0, ""
+		if err := json.Unmarshal(e.Payload, &payload); err != nil || payload.Request.Project == "" {
+			status, msg = http.StatusBadRequest, "journal payload unusable"
+		} else {
+			c, projName, status, msg = s.buildCampaignFrom(payload.Request, payload.Project, payload.Files)
+		}
+		if status == 0 {
+			jobID := e.Job
+			task := s.campaignTask(payload.Request, projName, c, func() string { return jobID })
+			if err := s.sched.SubmitID(jobID, payload.Request.Project, task); err != nil {
+				status, msg = http.StatusServiceUnavailable, err.Error()
+			}
+		}
+		if status != 0 {
+			outcome = "abandoned"
+			obs.Log(context.Background()).Warn("journaled job abandoned at recovery",
+				"job", e.Job, "campaign", e.Campaign, "reason", msg)
+			_ = s.store.AppendJournal(resultstore.JournalEntry{
+				Job: e.Job, State: resultstore.JournalFailed, TimeMS: time.Now().UnixMilli(),
+			})
+			failed := scheduler.Status{
+				ID: e.Job, Name: e.Name, State: scheduler.Failed,
+				Error:      "recovery failed: " + msg,
+				EnqueuedMS: e.TimeMS, FinishedMS: time.Now().UnixMilli(),
+			}
+			_ = s.store.AppendJob(jobView(failed))
+			s.sched.Restore([]scheduler.Status{failed})
+		} else {
+			obs.Log(context.Background()).Info("journaled job re-admitted",
+				"job", e.Job, "campaign", e.Campaign, "outcome", outcome)
+		}
+		s.recJobs.With(outcome).Inc()
+	}
+}
+
+// handleRunCampaign validates the request synchronously, enqueues the
+// campaign on the scheduler, and returns 202 with a job ID. With
+// ?wait=true it blocks until the job finishes and answers like the old
+// synchronous API (201 + report).
+func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	var req CampaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad campaign json: %v", err)
+		return
+	}
+	c, projName, status, msg := s.buildCampaign(req)
+	if status != 0 {
+		httpError(w, status, "%s", msg)
+		return
+	}
+
+	// The campaign ID derives from the job ID, which Submit allocates
+	// after the task closure exists; the buffered channel hands it in.
+	jobIDCh := make(chan string, 1)
+	task := s.campaignTask(req, projName, c, func() string { return <-jobIDCh })
 	jobID, err := s.sched.Submit(req.Project, task)
 	if err != nil {
+		if errors.Is(err, scheduler.ErrQueueFull) {
+			// Back-pressure, not an outage: the queue drains as campaigns
+			// finish, so tell the client to come back.
+			w.Header().Set("Retry-After", "5")
+			httpError(w, http.StatusTooManyRequests, "cannot schedule campaign: %v", err)
+			return
+		}
 		httpError(w, http.StatusServiceUnavailable, "cannot schedule campaign: %v", err)
 		return
 	}
+	// Write-ahead journal the accepted job before the task may proceed
+	// (it blocks on the job ID until the send below): a crash after this
+	// point leaves a durable record to re-admit the job from.
+	s.journalAccepted(jobID, req, projName, c)
 	jobIDCh <- jobID
 
 	if r.URL.Query().Get("wait") != "true" {

@@ -281,8 +281,51 @@ func (s *Scheduler) Submit(name string, t Task) (string, error) {
 		return "", ErrQueueFull
 	}
 	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	s.enqueueLocked(id, name, t)
+	s.mu.Unlock()
+	s.met.enqueued()
+	return id, nil
+}
+
+// SubmitID enqueues a task under a caller-chosen job ID — the recovery
+// path re-admits journaled jobs this way, so IDs the API layer derived
+// from job numbers (campaign IDs) stay stable across restarts. The ID
+// counter advances past numeric IDs ("job-N"), so later Submit calls
+// cannot collide with recovered jobs. Fails with ErrQueueFull,
+// ErrClosed, or an error when the ID is empty or already known.
+func (s *Scheduler) SubmitID(id, name string, t Task) error {
+	if id == "" {
+		return errors.New("scheduler: empty job id")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if _, exists := s.jobs[id]; exists {
+		s.mu.Unlock()
+		return fmt.Errorf("scheduler: job %s already exists", id)
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return ErrQueueFull
+	}
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+	s.enqueueLocked(id, name, t)
+	s.mu.Unlock()
+	s.met.enqueued()
+	return nil
+}
+
+// enqueueLocked creates a queued job and places it on the pending list.
+// Caller holds s.mu and has already checked closed/queue-depth.
+func (s *Scheduler) enqueueLocked(id, name string, t Task) {
 	j := &job{
-		id:       fmt.Sprintf("job-%d", s.nextID),
+		id:       id,
 		name:     name,
 		task:     t,
 		met:      s.met,
@@ -291,13 +334,10 @@ func (s *Scheduler) Submit(name string, t Task) (string, error) {
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
 	}
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
 	s.pending = append(s.pending, j)
 	s.cond.Signal()
-	s.mu.Unlock()
-	s.met.enqueued()
-	return j.id, nil
 }
 
 // Status returns the snapshot of one job.

@@ -16,6 +16,7 @@ import (
 	"profipy/internal/executor"
 	"profipy/internal/kvclient"
 	"profipy/internal/obs"
+	"profipy/internal/resultstore"
 )
 
 // benchPipelineCampaign runs the §V-A campaign under an executor and reports
@@ -73,6 +74,72 @@ func BenchmarkPipelineExecutors(b *testing.B) {
 			records := 0
 			for i := 0; i < b.N; i++ {
 				records = benchPipelineCampaign(b, eng.ex, eng.reg)
+			}
+			b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// benchStoreCampaign runs one §V-A campaign streaming its records into
+// a disk-backed result store under the given campaign ID, and — when
+// journal is set — write-ahead journaling the job lifecycle exactly as
+// the saas layer does (queued and running before the run, terminal
+// after; each an fsync'd append). The journal-on vs journal-off pair in
+// BENCH_pipeline.json is the durability-overhead gate: crash
+// consistency must stay within a few percent of records/s.
+func benchStoreCampaign(tb testing.TB, s *resultstore.Store, id string, journal bool) int {
+	tb.Helper()
+	rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+	c := kvclient.CampaignA(rt, 101)
+	c.DiscardRecords = true
+	if journal {
+		for _, state := range []string{resultstore.JournalQueued, resultstore.JournalRunning} {
+			if err := s.AppendJournal(resultstore.JournalEntry{Job: id, State: state, Campaign: id, TimeMS: 1}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	w, err := s.StartCampaign(resultstore.Meta{ID: id, Project: "bench"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	records := 0
+	c.Sink = executor.SinkFunc(func(idx int, rec analysis.Record) {
+		records++
+		_ = w.Append(rec)
+	})
+	if _, err := c.Run(); err != nil {
+		tb.Fatalf("campaign: %v", err)
+	}
+	if err := w.Finish(resultstore.StatusDone, nil, nil); err != nil {
+		tb.Fatal(err)
+	}
+	if journal {
+		if err := s.AppendJournal(resultstore.JournalEntry{Job: id, State: resultstore.JournalDone, TimeMS: 2}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return records
+}
+
+// BenchmarkPipelineDurability compares persisted-campaign throughput
+// with and without the write-ahead job journal.
+func BenchmarkPipelineDurability(b *testing.B) {
+	for _, journal := range []bool{false, true} {
+		name := "store-nojournal"
+		if journal {
+			name = "store-journal"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := resultstore.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			records := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				records = benchStoreCampaign(b, s, fmt.Sprintf("camp-%d", i), journal)
 			}
 			b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
 		})
@@ -176,6 +243,39 @@ func TestEmitPipelineBenchJSON(t *testing.T) {
 		})
 		row := pipelineBenchResult{
 			Name:        "campaign-records/" + eng.name,
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}
+		if br.NsPerOp() > 0 {
+			row.RecordsPerS = float64(records) * 1e9 / float64(br.NsPerOp())
+		}
+		rows = append(rows, row)
+	}
+
+	// Durability A/B: the same persisted campaign with and without the
+	// write-ahead job journal, so the bench artifact carries the cost of
+	// crash consistency as its own comparable pair of rows.
+	campSeq := 0
+	for _, journal := range []bool{false, true} {
+		name := "store-nojournal"
+		if journal {
+			name = "store-journal"
+		}
+		s, err := resultstore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		records := 0
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				records = benchStoreCampaign(b, s, fmt.Sprintf("camp-%d", campSeq), journal)
+				campSeq++
+			}
+		})
+		_ = s.Close()
+		row := pipelineBenchResult{
+			Name:        "campaign-records/" + name,
 			NsPerOp:     float64(br.NsPerOp()),
 			AllocsPerOp: br.AllocsPerOp(),
 			BytesPerOp:  br.AllocedBytesPerOp(),
