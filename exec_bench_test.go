@@ -50,6 +50,7 @@ func TestCompiledCampaignEquivalence(t *testing.T) {
 		{"campaign-b", kvclient.CampaignB, 202},
 		{"campaign-c", kvclient.CampaignC, 303},
 		{"campaign-r", kvclient.CampaignR, 404},
+		{"campaign-late", kvclient.CampaignLate, 707},
 	}
 	for _, bc := range builds {
 		t.Run(bc.name, func(t *testing.T) {
@@ -295,6 +296,46 @@ func TestEmitExecBenchJSON(t *testing.T) {
 	}
 	measureRound("experiment-two-rounds/compiled", false)
 	measureRound("experiment-two-rounds/tree-walk", true)
+
+	// Fork on/off A/B on the late-site scenario: every injection site in
+	// campaign-late is first reached near the end of round 1, so the
+	// prefix-fork path skips almost a full round per experiment. The rows
+	// are adjacent (fork first) so the speedup map reports on-vs-off.
+	// The ForkHits assertion is the CI smoke that the fork path actually
+	// engaged — a silent fallback to full runs would otherwise report a
+	// ~1.00x row without failing anything.
+	measureForkCampaign := func(name string, fork bool) {
+		experiments := 0
+		snapshots, hits := 0, 0
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+				c := kvclient.CampaignLate(rt, 707)
+				c.PrefixFork = fork
+				res, err := c.Run()
+				if err != nil {
+					b.Fatalf("campaign-late (fork=%v): %v", fork, err)
+				}
+				experiments = len(res.Records)
+				snapshots, hits = res.ForkSnapshots, res.ForkHits
+			}
+		})
+		if fork && (snapshots == 0 || hits == 0) {
+			t.Fatalf("prefix-fork did not engage: snapshots=%d hits=%d", snapshots, hits)
+		}
+		row := execBenchResult{
+			Name:        name,
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}
+		if br.NsPerOp() > 0 {
+			row.ExperimentsPerSc = float64(experiments) * 1e9 / float64(br.NsPerOp())
+		}
+		rows = append(rows, row)
+	}
+	measureForkCampaign("campaign-late/prefix-fork", true)
+	measureForkCampaign("campaign-late/full-runs", false)
 
 	out := struct {
 		Benchmarks []execBenchResult `json:"benchmarks"`

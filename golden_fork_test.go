@@ -1,0 +1,62 @@
+// Prefix-fork equivalence against the golden fixtures: every campaign
+// re-runs with Campaign.PrefixFork enabled — round 1 of most experiments
+// resumes from a boundary snapshot instead of replaying the shared
+// workload prefix — across both executor geometries, and the records
+// must stay byte-for-byte identical to the fixtures recorded by straight
+// execution. The test also asserts the fork path actually engaged
+// (snapshots captured, experiments resumed), so a silently-disabled fork
+// path cannot pass as "equivalent".
+package profipy
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"profipy/internal/executor"
+)
+
+func TestGoldenCampaignRecordsPrefixFork(t *testing.T) {
+	execs := []struct {
+		name string
+		exec executor.Executor // nil = default Local
+	}{
+		{"local", nil},
+		{"sharded", executor.Sharded{Shards: 3, Workers: 2}},
+	}
+	for _, gc := range goldenCampaigns {
+		want, err := os.ReadFile(filepath.Join("testdata", "golden", gc.name+".json"))
+		if err != nil {
+			t.Fatalf("missing golden fixture for %s (run `go test -run TestGoldenCampaignRecords -update .`): %v", gc.name, err)
+		}
+		for _, ex := range execs {
+			t.Run(gc.name+"/"+ex.name, func(t *testing.T) {
+				rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
+				c := gc.build(rt, gc.seed)
+				c.PrefixFork = true
+				c.Executor = ex.exec
+				res, err := c.Run()
+				if err != nil {
+					t.Fatalf("campaign: %v", err)
+				}
+				if res.ForkSnapshots == 0 {
+					t.Error("PrefixFork captured no snapshots — fork path never engaged")
+				}
+				if res.ForkHits == 0 {
+					t.Error("PrefixFork resumed no experiments — fork path never engaged")
+				}
+				got, err := json.MarshalIndent(res.Records, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, '\n')
+				if !bytes.Equal(got, want) {
+					t.Errorf("forked records drifted from the straight-execution fixture (%d vs %d bytes); forked and unforked execution must be byte-identical",
+						len(got), len(want))
+				}
+			})
+		}
+	}
+}

@@ -39,6 +39,7 @@ var goldenCampaigns = []struct {
 	{"campaign-b", kvclient.CampaignB, 202},
 	{"campaign-c", kvclient.CampaignC, 303},
 	{"campaign-r", kvclient.CampaignR, 404},
+	{"campaign-late", kvclient.CampaignLate, 707},
 }
 
 // goldenRecords produces the canonical JSON encoding of one campaign's

@@ -61,6 +61,18 @@ type Campaign struct {
 	// compile-once program (used by equivalence tests and benchmarks;
 	// results are identical, execution is several times slower).
 	TreeWalk bool
+	// PrefixFork enables experiment-prefix snapshot/fork execution: the
+	// base program's round 1 runs once, snapshotting at each injection
+	// site's first reach, and every experiment resumes from its site's
+	// snapshot instead of re-running the shared prefix. Executors get a
+	// site-grouping order hook so a shard runs same-site experiments
+	// back to back. Records and reports are byte-identical to unforked
+	// execution at any geometry — an experiment that cannot be forked
+	// faithfully falls back to a full run rather than approximating.
+	// Requires the compiled path (ignored under TreeWalk) and a workload
+	// environment that can capture/restore its state (Workload.CaptureEnv
+	// and RestoreEnv); see Result.ForkHits/ForkMisses for engagement.
+	PrefixFork bool
 	// Analysis configures failure classification and metrics.
 	Analysis analysis.Config
 	// TraceHook, when set, is called on every experiment container to
@@ -134,8 +146,8 @@ type Result struct {
 	// Records holds every experiment record in plan order; nil when the
 	// campaign ran with DiscardRecords (streaming consumers read them
 	// from the Sink instead).
-	Records []analysis.Record
-	Report  *analysis.Report
+	Records  []analysis.Record
+	Report   *analysis.Report
 	ScanTime time.Duration
 	CovTime  time.Duration
 	ExecTime time.Duration
@@ -151,6 +163,12 @@ type Result struct {
 	// recompilation.
 	Mutated  int
 	Injected int
+	// Prefix-fork accounting (Campaign.PrefixFork): snapshots captured
+	// by the prefix build, experiments resumed from a snapshot, and
+	// experiments that fell back to a full run after a fork attempt.
+	ForkSnapshots int
+	ForkHits      int
+	ForkMisses    int
 	// Phases is the campaign's own span timeline — the §IV-D recorder
 	// turned on the workflow itself: one span per phase (scan, compile,
 	// coverage, execute, aggregate) plus one per shard when the sharded
@@ -345,6 +363,19 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 			e.Skip = skip
 		}
 	}
+	// Prefix-fork site grouping: hand the executors the runner's order
+	// hook so a shard runs same-site experiments back to back while the
+	// site's snapshot is warm. Same value-copy discipline as Skip.
+	if c.PrefixFork {
+		switch e := exec.(type) {
+		case executor.Local:
+			e.Order = runner.SiteOrder
+			exec = e
+		case executor.Sharded:
+			e.Order = runner.SiteOrder
+			exec = e
+		}
+	}
 	// Under the sharded engine, each shard contributes its own span to
 	// the campaign timeline (offsets are rebased from Run start to
 	// campaign start). The recorder is concurrency-safe, matching the
@@ -397,6 +428,8 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 		res.Records = collect.Records()
 	}
 	res.Mutated, res.Injected = runner.Counts()
+	res.ForkSnapshots, res.ForkHits, res.ForkMisses = runner.ForkStats()
+	met.fork(res.ForkSnapshots, res.ForkHits, res.ForkMisses)
 	// Remote execution runs experiments in worker processes; their path
 	// kinds arrive with the record envelopes instead of this process's
 	// Runner (which only counts locally executed fallback shards).

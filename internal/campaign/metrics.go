@@ -14,6 +14,7 @@ type cmetrics struct {
 	phaseDur    *obs.HistogramVec
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+	forkEvents  *obs.CounterVec // event = snapshot | hit | miss
 }
 
 // phaseBuckets cover millisecond scan phases through minute-scale
@@ -35,6 +36,8 @@ func newMetrics(reg *obs.Registry) *cmetrics {
 			"Per-experiment program derivations served from the content-hash unit cache."),
 		cacheMisses: reg.Counter("profipy_campaign_compile_cache_misses_total",
 			"Per-experiment program derivations that had to recompile the mutated file."),
+		forkEvents: reg.CounterVec("profipy_campaign_fork_events_total",
+			"Prefix-fork activity: boundary snapshots captured, experiments resumed from a snapshot (hit), fork attempts that fell back to a full run (miss).", "event"),
 	}
 }
 
@@ -59,6 +62,15 @@ func (m *cmetrics) experiment(infraError bool) {
 	} else {
 		m.experiments.With("ok").Inc()
 	}
+}
+
+func (m *cmetrics) fork(snapshots, hits, misses int) {
+	if m == nil {
+		return
+	}
+	m.forkEvents.With("snapshot").Add(float64(snapshots))
+	m.forkEvents.With("hit").Add(float64(hits))
+	m.forkEvents.With("miss").Add(float64(misses))
 }
 
 func (m *cmetrics) cache(hits, misses uint64) {

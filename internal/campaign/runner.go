@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"profipy/internal/analysis"
@@ -48,6 +49,14 @@ type Runner struct {
 
 	mutated  atomic.Int64
 	injected atomic.Int64
+
+	// Prefix-fork state (Campaign.PrefixFork): the site->snapshot map is
+	// built lazily by the first experiment that wants one, off a single
+	// base-program run in a scratch container.
+	prefixOnce sync.Once
+	prefixes   *workload.PrefixSet
+	forkHits   atomic.Int64
+	forkMisses atomic.Int64
 }
 
 // NewRunner prepares a campaign for execution without running its
@@ -119,6 +128,79 @@ func (r *Runner) Counts() (mutated, injected int) {
 	return int(r.mutated.Load()), int(r.injected.Load())
 }
 
+// ForkStats reports prefix-fork activity: snapshots captured by the
+// prefix build, experiments resumed from a snapshot (hits) and
+// experiments that attempted a fork but fell back to a full run
+// (misses). All zero when PrefixFork is off or no experiment ran.
+func (r *Runner) ForkStats() (snapshots, hits, misses int) {
+	return r.prefixes.Stats().Snapshots, int(r.forkHits.Load()), int(r.forkMisses.Load())
+}
+
+// sitePrefix returns the shared prefix snapshot for a point's site
+// function, building the campaign's prefix set on first use.
+func (r *Runner) sitePrefix(pt scanner.InjectionPoint) *workload.Prefix {
+	if !r.c.PrefixFork || r.wcfg.Program == nil || r.wcfg.FaultFree || pt.Func == "" {
+		return nil
+	}
+	r.prefixOnce.Do(r.buildPrefixes)
+	return r.prefixes.For(pt.Func)
+}
+
+// buildPrefixes runs the base program once in a scratch container and
+// snapshots at each injection site's first reach. A build failure just
+// leaves the prefix set empty: every experiment falls back to full runs.
+func (r *Runner) buildPrefixes() {
+	seen := make(map[string]bool)
+	var sites []string
+	for _, pt := range r.points {
+		if pt.Func != "" && !seen[pt.Func] {
+			seen[pt.Func] = true
+			sites = append(sites, pt.Func)
+		}
+	}
+	if len(sites) == 0 {
+		return
+	}
+	img := r.c.Image
+	img.Files = r.c.Files
+	ctr := r.c.Runtime.CreateSeeded(img, r.c.Seed)
+	defer func() { _ = r.c.Runtime.Destroy(ctr) }()
+	if r.c.TraceHook != nil {
+		r.c.TraceHook(ctr)
+	}
+	if ps, err := workload.BuildPrefixes(ctr, r.wcfg, sites); err == nil {
+		r.prefixes = ps
+	}
+}
+
+// SiteOrder permutes the plan indices of [lo, hi) so experiments sharing
+// an injection site run back to back — the executors' site-aware
+// scheduling hook. Grouping maximizes reuse of the site's prefix
+// snapshot while it is warm; since records key on plan index and seeds
+// derive from it, execution order never affects record bytes.
+func (r *Runner) SiteOrder(lo, hi int) []int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(r.points) {
+		hi = len(r.points)
+	}
+	groups := make(map[string][]int)
+	var order []string
+	for i := lo; i < hi; i++ {
+		fn := r.points[i].Func
+		if _, ok := groups[fn]; !ok {
+			order = append(order, fn)
+		}
+		groups[fn] = append(groups[fn], i)
+	}
+	out := make([]int, 0, hi-lo)
+	for _, fn := range order {
+		out = append(out, groups[fn]...)
+	}
+	return out
+}
+
 // Experiment runs the experiment at plan index i and returns its
 // record. Safe for concurrent calls.
 func (r *Runner) Experiment(i int) analysis.Record {
@@ -186,6 +268,40 @@ func (r *Runner) ExperimentDetail(i int) (analysis.Record, string) {
 		}
 		r.mutated.Add(1)
 		kind = KindMutated
+	}
+
+	if wcfg.Program != nil {
+		if pre := r.sitePrefix(pt); pre != nil {
+			fctr := r.c.Runtime.CreateSeeded(img, seed)
+			if r.c.TraceHook != nil {
+				r.c.TraceHook(fctr)
+			}
+			result, ok, _ := workload.RunForked(fctr, wcfg, workload.ForkSpec{
+				Prefix: pre, BaseFiles: r.c.Files, Overlay: img.Overlay,
+			})
+			_ = r.c.Runtime.Destroy(fctr)
+			if ok {
+				r.forkHits.Add(1)
+				rec.Result = result
+				if eng != nil {
+					rec.Injections = eng.Report()
+				}
+				return rec, kind
+			}
+			r.forkMisses.Add(1)
+			if eng != nil {
+				// The aborted fork attempt may have advanced the engine
+				// (BeginRound, partial execution); rebuild it from the
+				// same deterministic inputs so the fallback run observes
+				// exactly the state a straight run would.
+				fault := *r.rtFaults[pt.Spec]
+				fault.Site = pt.Func
+				if neng, err := runtimefault.NewEngine([]runtimefault.Fault{fault}, seed); err == nil {
+					eng = neng
+					wcfg.Injector = eng
+				}
+			}
+		}
 	}
 
 	ctr := r.c.Runtime.CreateSeeded(img, seed)

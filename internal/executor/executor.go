@@ -104,6 +104,15 @@ type Local struct {
 	// Reg, when set, instruments the run: completed records,
 	// per-experiment latency and busy workers (see newMetrics).
 	Reg *obs.Registry
+	// Order, when set, permutes the execution order of a pool's index
+	// range (site-aware scheduling: the campaign groups experiments
+	// sharing an injection site so a prefix snapshot is reused while
+	// warm). Delivery stays exactly-once regardless of what Order
+	// returns — out-of-range and duplicate entries are dropped and
+	// missing indices appended in ascending order — and record bytes
+	// never depend on execution order, because records key on plan
+	// index and seeds derive from it.
+	Order func(lo, hi int) []int
 }
 
 // Name implements Executor.
@@ -116,7 +125,7 @@ func (l Local) Run(ctx context.Context, n int, exp Experiment, sink RecordSink) 
 	}
 	m := newMetrics(l.Reg, l.Name())
 	exp = m.instrument(exp)
-	runPool(0, n, l.Workers, l.Skip, exp, func(r indexed) {
+	runPool(0, n, l.Workers, l.Skip, l.Order, exp, func(r indexed) {
 		m.record()
 		sink.Put(r.idx, r.rec)
 	})
@@ -136,12 +145,45 @@ func missing(lo, hi int, skip *Mask) int {
 	return n
 }
 
+// poolOrder resolves the execution sequence of [lo, hi) minus skip. A
+// nil order yields ascending indices. A caller-supplied order is
+// validated defensively — entries outside the range, duplicates and
+// skipped indices are dropped, and indices the permutation missed are
+// appended in ascending order — so a buggy Order hook can reorder work
+// but never break the exactly-once delivery contract.
+func poolOrder(lo, hi int, skip *Mask, order func(int, int) []int) []int {
+	out := make([]int, 0, hi-lo)
+	if order == nil {
+		for i := lo; i < hi; i++ {
+			if !skip.Has(i) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	seen := make(map[int]bool, hi-lo)
+	for _, i := range order(lo, hi) {
+		if i < lo || i >= hi || seen[i] || skip.Has(i) {
+			continue
+		}
+		seen[i] = true
+		out = append(out, i)
+	}
+	for i := lo; i < hi; i++ {
+		if !seen[i] && !skip.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // runPool executes the experiments of [lo, hi) not masked by skip on a
 // bounded worker pool, delivering each record to emit from the calling
 // goroutine — the one pump shared by Local and Sharded's per-shard
-// pools.
-func runPool(lo, hi, workers int, skip *Mask, exp Experiment, emit func(indexed)) {
-	n := missing(lo, hi, skip)
+// pools. A non-nil order permutes execution within the range.
+func runPool(lo, hi, workers int, skip *Mask, order func(int, int) []int, exp Experiment, emit func(indexed)) {
+	seq := poolOrder(lo, hi, skip, order)
+	n := len(seq)
 	if n == 0 {
 		return
 	}
@@ -149,10 +191,7 @@ func runPool(lo, hi, workers int, skip *Mask, exp Experiment, emit func(indexed)
 		workers = n
 	}
 	if workers <= 1 {
-		for i := lo; i < hi; i++ {
-			if skip.Has(i) {
-				continue
-			}
+		for _, i := range seq {
 			emit(indexed{i, exp(i)})
 		}
 		return
@@ -167,10 +206,7 @@ func runPool(lo, hi, workers int, skip *Mask, exp Experiment, emit func(indexed)
 		}()
 	}
 	go func() {
-		for i := lo; i < hi; i++ {
-			if skip.Has(i) {
-				continue
-			}
+		for _, i := range seq {
 			jobs <- i
 		}
 		close(jobs)
@@ -217,6 +253,10 @@ type Sharded struct {
 	// Reg, when set, instruments the run: completed records,
 	// per-experiment latency, busy workers and shard latency.
 	Reg *obs.Registry
+	// Order permutes execution order inside each shard's index range
+	// (site-aware scheduling); see Local.Order. Shard geometry is
+	// unaffected — grouping happens within a shard, never across.
+	Order func(lo, hi int) []int
 }
 
 // Name implements Executor.
@@ -310,7 +350,7 @@ func (s Sharded) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 // offsets) is measured here, in the shard's own goroutine.
 func (s Sharded) runShard(si, lo, hi, workers int, exp Experiment, stream chan<- indexed, m *emetrics, t0 time.Time) {
 	start := time.Now()
-	runPool(lo, hi, workers, s.Skip, exp, func(r indexed) { stream <- r })
+	runPool(lo, hi, workers, s.Skip, s.Order, exp, func(r indexed) { stream <- r })
 	end := time.Now()
 	m.shard(end.Sub(start))
 	if s.OnShardSpan != nil {

@@ -179,3 +179,80 @@ func TestRunZeroExperiments(t *testing.T) {
 		}
 	}
 }
+
+// TestOrderHookReordersExecutionNotRecords: the site-aware Order hook
+// permutes execution within a pool's range, but delivery stays
+// exactly-once and records land at their plan indices — byte-identical
+// to an unordered run.
+func TestOrderHookReordersExecutionNotRecords(t *testing.T) {
+	const n = 23
+	var active, peak atomic.Int64
+	exp := testExp(&active, &peak)
+	want := runAndCollect(t, Local{Workers: 2}, n, exp)
+
+	reverse := func(lo, hi int) []int {
+		out := make([]int, 0, hi-lo)
+		for i := hi - 1; i >= lo; i-- {
+			out = append(out, i)
+		}
+		return out
+	}
+	executors := []Executor{
+		Local{Order: reverse},
+		Local{Workers: 4, Order: reverse},
+		Sharded{Shards: 3, Workers: 2, Order: reverse},
+	}
+	for _, ex := range executors {
+		got := runAndCollect(t, ex, n, exp)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s with Order hook: records differ from unordered run", ex.Name())
+		}
+	}
+
+	// Sequential path: the hook's order is the execution order.
+	var seen []int
+	_ = Local{Order: reverse}.Run(context.Background(), n, func(idx int) analysis.Record {
+		seen = append(seen, idx)
+		return analysis.Record{}
+	}, SinkFunc(func(int, analysis.Record) {}))
+	if seen[0] != n-1 || seen[len(seen)-1] != 0 {
+		t.Errorf("sequential execution order = %v, want descending", seen)
+	}
+}
+
+// TestOrderHookValidatesDefensively: a buggy Order hook — duplicates,
+// out-of-range entries, missing indices, skip-masked indices — cannot
+// break the exactly-once contract.
+func TestOrderHookValidatesDefensively(t *testing.T) {
+	skip := NewMask(10)
+	skip.Set(4)
+	bogus := func(lo, hi int) []int {
+		// Duplicates, out-of-range values, the masked index, and only
+		// part of the range.
+		return []int{7, 7, -3, 99, 4, 2}
+	}
+	got := poolOrder(0, 10, skip, bogus)
+	want := []int{7, 2, 0, 1, 3, 5, 6, 8, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("poolOrder = %v, want %v", got, want)
+	}
+
+	var mu sync.Mutex
+	counts := make(map[int]int)
+	ex := Local{Workers: 3, Skip: skip, Order: bogus}
+	_ = ex.Run(context.Background(), 10, func(idx int) analysis.Record {
+		mu.Lock()
+		counts[idx]++
+		mu.Unlock()
+		return analysis.Record{}
+	}, SinkFunc(func(int, analysis.Record) {}))
+	for i := 0; i < 10; i++ {
+		want := 1
+		if i == 4 {
+			want = 0 // masked
+		}
+		if counts[i] != want {
+			t.Errorf("index %d executed %d times, want %d", i, counts[i], want)
+		}
+	}
+}

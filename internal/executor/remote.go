@@ -113,7 +113,7 @@ func (r *Remote) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 	exp = m.instrument(exp)
 	if r.Coord == nil {
 		// No coordinator: behave exactly like Local.
-		runPool(0, n, r.LocalWorkers, r.Skip, exp, func(rec indexed) {
+		runPool(0, n, r.LocalWorkers, r.Skip, nil, exp, func(rec indexed) {
 			m.record()
 			sink.Put(rec.idx, rec.rec)
 		})
@@ -152,7 +152,7 @@ func (r *Remote) Run(ctx context.Context, n int, exp Experiment, sink RecordSink
 	var wg sync.WaitGroup
 	localShard := func(lo, hi int) {
 		defer wg.Done()
-		runPool(lo, hi, r.LocalWorkers, r.Skip, func(i int) analysis.Record {
+		runPool(lo, hi, r.LocalWorkers, r.Skip, nil, func(i int) analysis.Record {
 			if job.IsDelivered(i) {
 				// Another executor already delivered this index (a
 				// worker finished it before losing its lease); the

@@ -78,12 +78,12 @@ const (
 )
 
 type shardState struct {
-	lo, hi      int
-	state       int
-	worker      string
-	token       string
-	expires     time.Time
-	dispatches  int
+	lo, hi     int
+	state      int
+	worker     string
+	token      string
+	expires    time.Time
+	dispatches int
 }
 
 // Delivery is one deduplicated experiment record surfaced to the job's
@@ -253,7 +253,7 @@ func (c *Coordinator) checkToken(campaign string, shard int, token string) (*Job
 // stale (the records of the batch are dropped — the shard's new owner
 // will regenerate them byte-identically).
 func (c *Coordinator) Ingest(campaign string, shard int, token string, lines []remote.RecordLine) bool {
-	start := time.Now()
+	start := c.cfg.now()
 	c.mu.Lock()
 	job, ok := c.checkToken(campaign, shard, token)
 	if ok {
@@ -272,7 +272,7 @@ func (c *Coordinator) Ingest(campaign string, shard int, token string, lines []r
 			fresh++
 		}
 	}
-	c.met.ingest(fresh, len(lines)-fresh, time.Since(start))
+	c.met.ingest(fresh, len(lines)-fresh, c.cfg.now().Sub(start))
 	return true
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"profipy/internal/analysis"
+	"profipy/internal/obs"
 	"profipy/internal/remote"
 	"profipy/internal/scanner"
 )
@@ -252,5 +253,40 @@ func TestCloseJobInvalidatesTokens(t *testing.T) {
 	}
 	if _, ok := c.Spec("camp"); ok {
 		t.Fatal("spec served after job close")
+	}
+}
+
+// TestIngestLatencyUsesInjectedClock pins the Ingest latency measurement
+// to Config.now: with a clock that advances a fixed step per reading,
+// the observed batch latency is exactly the injected steps elapsed
+// between Ingest's first and last reading — a wall-clock measurement
+// would record microseconds and break the determinism the injected
+// clock exists for.
+func TestIngestLatencyUsesInjectedClock(t *testing.T) {
+	const step = 3 * time.Millisecond
+	ck := newClock()
+	reg := obs.NewRegistry()
+	// Auto-advancing reader: every clock reading moves time forward by
+	// one step, so durations measured on this clock are deterministic
+	// multiples of step.
+	now := func() time.Time {
+		ck.advance(step)
+		return ck.now()
+	}
+	c := New(Config{LeaseTTL: ttl, Reg: reg, now: now})
+	w := c.RegisterWorker(remote.RegisterRequest{Name: "a"})
+	startTestJob(c, "camp", 4, 1)
+	l, ok := c.Lease(w.ID)
+	if !ok {
+		t.Fatal("no lease granted")
+	}
+	if !c.Ingest("camp", l.Shard, l.Token, []remote.RecordLine{{Idx: 0, Rec: rec(0)}}) {
+		t.Fatal("ingest rejected")
+	}
+	// Ingest reads the clock twice after its start reading (lease
+	// renewal, then the end of the measurement): exactly 2 steps.
+	h := reg.Histogram("profipy_fleet_ingest_seconds", "", nil)
+	if got, want := h.Sum(), (2 * step).Seconds(); got != want {
+		t.Fatalf("ingest latency sum = %v, want %v (injected clock)", got, want)
 	}
 }

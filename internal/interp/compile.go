@@ -131,6 +131,11 @@ type compiler struct {
 	file    string
 	syms    *linker
 	globals map[string]bool // top-level decls + builtins + import names
+	// fns collects every compiledFunc produced while compiling the unit
+	// (top-level functions, methods and nested literals); snapshot/fork
+	// uses it as the unit's provenance set when translating closures
+	// between a base program and a derived one.
+	fns []*compiledFunc
 }
 
 // access is a resolved variable reference.
@@ -372,6 +377,7 @@ func (c *compiler) compileFunc(parent *fnCtx, name string, ft *ast.FuncType,
 	body *ast.BlockStmt, recvName string) *compiledFunc {
 
 	fn := &compiledFunc{name: name}
+	c.fns = append(c.fns, fn)
 	fc := &fnCtx{
 		parent: parent,
 		fn:     fn,

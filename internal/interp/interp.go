@@ -7,6 +7,7 @@ import (
 	"go/parser"
 	"go/token"
 	"io"
+	"math"
 	"strings"
 	"sync/atomic"
 )
@@ -105,6 +106,20 @@ type Interp struct {
 	prog   *Program
 	gslots []Value
 	extras map[string]Value
+
+	// hostVals records every host-registered value by a stable
+	// registration key ("g:name" for globals, "m:name" for modules).
+	// Snapshot/fork uses the keys to translate host references between
+	// the capturing interpreter and a forked one, whose environment
+	// registers equivalent values under the same keys.
+	hostVals map[string]Value
+
+	// Checkpoint context, non-nil only while a CallPrefix checkpoint
+	// callback runs: the paused entry frame Snapshot captures.
+	cpFrame *cframe
+	cpEntry *compiledClosure
+	cpMeta  *frame
+	cpStmt  int
 }
 
 type frame struct {
@@ -163,16 +178,28 @@ func (it *Interp) Throw(excType, msg string) error {
 }
 
 // RegisterModule makes a host module importable by target sources.
-func (it *Interp) RegisterModule(m *Module) { it.modules[m.Name] = m }
+func (it *Interp) RegisterModule(m *Module) {
+	it.modules[m.Name] = m
+	it.noteHost("m:"+m.Name, m)
+}
 
 // RegisterGlobal binds a name in the global scope (used for fault hooks
 // such as __fault_enabled and __corrupt).
 func (it *Interp) RegisterGlobal(name string, v Value) {
+	it.noteHost("g:"+name, v)
 	if it.prog != nil {
 		it.defineGlobal(name, v)
 		return
 	}
 	it.globals.Define(name, v)
+}
+
+// noteHost records a host registration for snapshot/fork translation.
+func (it *Interp) noteHost(key string, v Value) {
+	if it.hostVals == nil {
+		it.hostVals = make(map[string]Value)
+	}
+	it.hostVals[key] = v
 }
 
 // RegisterHostFunc binds a global host function.
@@ -187,8 +214,20 @@ func (it *Interp) Clock() int64 { return it.clockNS }
 func (it *Interp) Steps() int64 { return it.steps }
 
 // AdvanceClock adds virtual time; host functions emulating slow
-// operations (sleeps, CPU hogs, network latency) call this.
-func (it *Interp) AdvanceClock(ns int64) { it.clockNS += ns }
+// operations (sleeps, CPU hogs, network latency) call this. The clock
+// is monotone: negative deltas (a corrupt `delay` action, for example)
+// are dropped rather than rewinding the clock past DeadlineNS checks,
+// and additions saturate instead of overflowing to a negative clock.
+func (it *Interp) AdvanceClock(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	if it.clockNS > math.MaxInt64-ns {
+		it.clockNS = math.MaxInt64
+		return
+	}
+	it.clockNS += ns
+}
 
 // SetDeadline replaces the virtual deadline (absolute nanoseconds).
 func (it *Interp) SetDeadline(ns int64) { it.deadlineNS = ns }

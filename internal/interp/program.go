@@ -103,6 +103,11 @@ type unit struct {
 	ops      []initOp
 	methods  map[string]map[string]*compiledFunc
 	topNames []string
+	// allFns is every compiledFunc the unit's compile produced, nested
+	// function literals included — the provenance set snapshot/fork
+	// consults when deciding whether a captured closure belongs to a
+	// unit that was swapped out by WithFiles.
+	allFns []*compiledFunc
 }
 
 // Program is a compiled, immutable minigo program: safe for concurrent
@@ -313,6 +318,7 @@ func topLevelNames(f *ast.File) []string {
 // walk (imports, then declarations in source order).
 func compileUnit(c *compiler, name string, f *ast.File) (*unit, error) {
 	u := &unit{name: name, topNames: topLevelNames(f)}
+	defer func() { u.allFns = c.fns }()
 	for _, imp := range f.Imports {
 		path := strings.Trim(imp.Path.Value, `"`)
 		bound := path

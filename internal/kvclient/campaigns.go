@@ -26,6 +26,8 @@ func WorkloadConfig() workload.Config {
 		Env: func(it *interp.Interp, c *sandbox.Container) {
 			InstallEnv(it, c)
 		},
+		CaptureEnv: CaptureEnv,
+		RestoreEnv: RestoreEnv,
 	}
 }
 
@@ -96,6 +98,22 @@ func CampaignB(rt *sandbox.Runtime, seed int64) *campaign.Campaign {
 func CampaignC(rt *sandbox.Runtime, seed int64) *campaign.Campaign {
 	return newCampaign("campaign-C: resource management bugs", rt,
 		[]string{FileWorkload}, CampaignCFaultload(), seed)
+}
+
+// CampaignLate builds the late-site benchmark campaign: the §V-A
+// faultload restricted to the lock and auth modules, driven by a
+// workload whose lock/auth traffic happens only after a long
+// ingest-and-verify prefix. Every injection site is therefore first
+// reached near the end of round 1 — the case prefix-snapshot fork
+// execution (ROADMAP item 1) exists for, and the scenario behind the
+// fork on/off row of BENCH_exec.json.
+func CampaignLate(rt *sandbox.Runtime, seed int64) *campaign.Campaign {
+	c := newCampaign("campaign-late: late-site lock/auth faults", rt,
+		[]string{FileLock, FileAuth}, CampaignAFaultload(), seed)
+	files := Sources()
+	files[FileWorkload] = []byte(LateWorkloadSource)
+	c.Files = files
+	return c
 }
 
 // CampaignR builds the mixed compile-time + runtime campaign: §V-A

@@ -30,6 +30,22 @@ func EnvByName(name string) (fn func(it *interp.Interp, c *sandbox.Container), o
 	}
 }
 
+// EnvCaptureByName resolves the capture/restore pair matching
+// EnvByName's environment: prefix-snapshot forking needs both to
+// checkpoint and replay host state at entry-body boundaries. "plain"
+// installs stateless hooks, so it captures nothing (nil pair, ok=true);
+// unknown names return ok=false.
+func EnvCaptureByName(name string) (capture func(c *sandbox.Container) (any, bool), restore func(c *sandbox.Container, state any) bool, ok bool) {
+	switch name {
+	case "", "kvclient":
+		return CaptureEnv, RestoreEnv, true
+	case "plain":
+		return nil, nil, true
+	default:
+		return nil, nil, false
+	}
+}
+
 // Transport behaviour constants.
 const (
 	// requestLatencyNS is the virtual time one HTTP request costs.
@@ -108,6 +124,21 @@ func (r *clockRef) attach(it *interp.Interp) {
 		r.base += r.it.Clock()
 	}
 	r.it = it
+}
+
+// baseNS reads the folded-in base (prefix-state capture).
+func (r *clockRef) baseNS() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base
+}
+
+// setBase overwrites the folded-in base (prefix-state restore; the
+// attached interpreter's own clock is restored separately by Fork).
+func (r *clockRef) setBase(ns int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.base = ns
 }
 
 // InstallEnv wires a fresh interpreter (one workload round) to a

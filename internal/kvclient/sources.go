@@ -487,6 +487,78 @@ func caseCleanup(c any) any {
 }
 `
 
+// LateWorkloadSource is the late-site workload variant: a long
+// ingest-and-verify prefix on the core client, with lock and auth
+// traffic only in the final stretch of the round. Scanning the lock and
+// auth modules against it yields injection sites that are first reached
+// after ~90% of the round — the scenario where prefix-snapshot fork
+// execution approaches its ceiling (round 2 still runs in full), and
+// the one BENCH_exec.json's fork on/off row measures.
+const LateWorkloadSource = `package workload
+
+import "etcdsrv"
+import "logx"
+
+func Workload() any {
+	etcdsrv.Start()
+	c := NewClient("http://127.0.0.1:2379", 3)
+	ready := c.Health()
+	if ready != true {
+		throw("WorkloadSetupFailed", "server not healthy at startup")
+	}
+
+	i := 0
+	for i < 48 {
+		key := "/bulk/item-" + str(i)
+		c.Set(key, "payload-"+str(i))
+		got := c.Get(key)
+		if got.Node.Value != "payload-"+str(i) {
+			throw("WorkloadFailed", "ingest mismatch at "+key)
+		}
+		i = i + 1
+	}
+	listing := c.Ls("/bulk")
+	if len(listing.Nodes) != 48 {
+		throw("WorkloadFailed", "ingest incomplete: "+str(len(listing.Nodes)))
+	}
+
+	sweep := 0
+	for sweep < 3 {
+		i = 0
+		for i < 48 {
+			key := "/bulk/item-" + str(i)
+			got := c.Get(key)
+			if got.Node.Value != "payload-"+str(i) {
+				throw("WorkloadFailed", "stale read at "+key)
+			}
+			i = i + 1
+		}
+		sweep = sweep + 1
+	}
+
+	locks := 0
+	for locks < 3 {
+		l := NewLock(c, "job-"+str(locks))
+		l.Acquire("worker-" + str(locks))
+		l.Release()
+		locks = locks + 1
+	}
+
+	a := NewAuth(c)
+	a.AddUser("operator", "hunter2")
+	a.ListUsers()
+	a.SaveToken("tok-operator")
+	a.RemoveUser("operator")
+
+	final := c.Health()
+	if final != true {
+		logx.Error("workload", "server unhealthy at shutdown")
+	}
+	etcdsrv.Stop()
+	return "ok"
+}
+`
+
 // Sources returns all target files (client modules + workload), keyed by
 // container path.
 func Sources() map[string][]byte {

@@ -1,0 +1,66 @@
+package kvstore
+
+// ServerState is a frozen copy of a server's datastore and lifecycle
+// flags, captured at a prefix-snapshot boundary. It is immutable after
+// capture and may be restored into any number of forked servers. The
+// RNG is deliberately not part of the state: the stale-read RNG only
+// draws under CPU contention, and the prefix driver refuses to snapshot
+// contended prefixes, so a fork's freshly seeded RNG is provably in the
+// same (undrawn) state as the straight run's at the boundary.
+type ServerState struct {
+	root         *node
+	index        int64
+	bound        bool
+	running      bool
+	bootstrapped bool
+	inconsistent bool
+	memberID     string
+}
+
+// CaptureState deep-copies the server's datastore and lifecycle flags.
+func (s *Server) CaptureState() *ServerState {
+	return &ServerState{
+		root:         s.store.root.clone(),
+		index:        s.store.index,
+		bound:        s.bound,
+		running:      s.running,
+		bootstrapped: s.bootstrapped,
+		inconsistent: s.inconsistent,
+		memberID:     s.memberID,
+	}
+}
+
+// RestoreState replaces the server's datastore and lifecycle flags with
+// a deep copy of the captured state (the state itself stays pristine for
+// further restores). Configuration and RNG are untouched.
+func (s *Server) RestoreState(st *ServerState) {
+	s.store = &store{root: st.root.clone(), index: st.index}
+	s.bound = st.bound
+	s.running = st.running
+	s.bootstrapped = st.bootstrapped
+	s.inconsistent = st.inconsistent
+	s.memberID = st.memberID
+}
+
+// clone deep-copies a keyspace subtree.
+func (n *node) clone() *node {
+	if n == nil {
+		return nil
+	}
+	nn := &node{
+		key:       n.key,
+		value:     n.value,
+		prevValue: n.prevValue,
+		dir:       n.dir,
+		created:   n.created,
+		modified:  n.modified,
+		expireNS:  n.expireNS,
+	}
+	if n.children != nil {
+		nn.children = make(map[string]*node, len(n.children))
+		for k, c := range n.children {
+			nn.children[k] = c.clone()
+		}
+	}
+	return nn
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"profipy/internal/analysis"
+	"profipy/internal/obs"
 	"profipy/internal/scanner"
 	"profipy/internal/workload"
 )
@@ -361,7 +362,9 @@ func TestJobsJournalSurvivesReopen(t *testing.T) {
 	if len(jobs) != 3 {
 		t.Fatalf("reloaded %d jobs, want 3", len(jobs))
 	}
-	var last struct{ ID string `json:"id"` }
+	var last struct {
+		ID string `json:"id"`
+	}
 	if err := json.Unmarshal(jobs[2], &last); err != nil || last.ID != "job-3" {
 		t.Errorf("last job = %s (%v)", jobs[2], err)
 	}
@@ -422,5 +425,47 @@ func TestConcurrentAppendAndRead(t *testing.T) {
 	wg.Wait()
 	if got := recordLines(t, s, "camp-c"); len(got) != n {
 		t.Fatalf("read %d records, want %d", len(got), n)
+	}
+}
+
+// TestFollowCancelsMidDrain: a canceled follower must detach even while
+// the campaign keeps producing records — the drain loop never reaches
+// the idle watch, so cancellation has to be checked between pages. The
+// follower cancels during the first page of a 2500-record backlog and
+// must not be fed the remaining pages.
+func TestFollowCancelsMidDrain(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	w, err := s.StartCampaign(Meta{ID: "busy", Project: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 2500) // campaign stays live: the drain loop never idles
+
+	subscribers := reg.Gauge("profipy_resultstore_follow_subscribers", "")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := 0
+	err = s.Follow(ctx, "busy", 0, func(seq int64, line json.RawMessage) error {
+		delivered++
+		if seq == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("follow err = %v, want context.Canceled", err)
+	}
+	// The page being drained at cancel time finishes (fn kept returning
+	// nil), but no further page may start.
+	if delivered > 1000 {
+		t.Fatalf("delivered %d records after cancellation, want at most one page (1000)", delivered)
+	}
+	if got := subscribers.Value(); got != 0 {
+		t.Fatalf("follow_subscribers gauge = %v after follower detached, want 0", got)
 	}
 }

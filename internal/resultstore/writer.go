@@ -373,6 +373,12 @@ func (s *Store) Follow(ctx context.Context, id string, after int64, fn func(seq 
 		cursor = 0
 	}
 	for {
+		// A canceled follower must detach even when the campaign keeps
+		// producing: the drain paths below loop without ever reaching the
+		// watch select, so the cancellation check lives at the top.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		page, err := s.Records(id, cursor, 1000)
 		if err != nil {
 			return err

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -313,8 +314,42 @@ func TestQueueFullReturns429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit = %d: %v", resp.StatusCode, out)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After header")
+	// No campaign has finished yet, so there is no load estimate: the
+	// header must be the fixed fallback hint.
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Fatalf("Retry-After before any finished job = %q, want the fallback \"5\"", got)
+	}
+}
+
+// TestRetryAfterDerivedFromLoad: once a campaign has finished, a
+// queue-full 429's Retry-After derives from queue depth × recent mean
+// job duration and must be a bounded integer number of seconds.
+func TestRetryAfterDerivedFromLoad(t *testing.T) {
+	srv, ts := newAsyncTestServer(t, Options{Cores: 4, Workers: 1, QueueDepth: 1})
+	// Let one fast campaign finish so the scheduler has a duration
+	// sample to estimate from.
+	first := submitDemo(t, ts.URL, 2)
+	pollUntilTerminal(t, ts.URL, first)
+
+	started, release := installGate(t, srv)
+	defer release()
+	submitDemo(t, ts.URL, 4)
+	<-started                // worker busy, queue empty
+	submitDemo(t, ts.URL, 4) // fills the single queue slot
+	req, err := DemoCampaignRequest("A", 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postJSON(t, ts.URL+"/api/v1/campaigns", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d: %v", resp.StatusCode, out)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if secs < 1 || secs > 300 {
+		t.Fatalf("Retry-After = %d, want within [1, 300]", secs)
 	}
 }
 
@@ -325,5 +360,34 @@ func TestJobNotFound(t *testing.T) {
 	}
 	if code, _ := deleteJob(t, ts.URL, "job-999"); code != http.StatusNotFound {
 		t.Fatalf("DELETE unknown job = %d", code)
+	}
+}
+
+// TestPrefixForkRequestByteIdentical runs the same demo campaign with
+// prefixFork off and on through the HTTP API and asserts byte-identical
+// reports plus actual fork engagement — the API-level form of the
+// golden fork-equivalence suite.
+func TestPrefixForkRequestByteIdentical(t *testing.T) {
+	srv, ts := newAsyncTestServer(t, Options{Cores: 4})
+	reports := make([]string, 2)
+	for i, fork := range []bool{false, true} {
+		req, err := DemoCampaignRequest("A", 101)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.PrefixFork = fork
+		resp, out := postJSON(t, ts.URL+"/api/v1/campaigns?wait=true", req)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("wait (fork=%v) status = %d: %v", fork, resp.StatusCode, out)
+		}
+		reports[i] = string(out["report"])
+	}
+	if reports[0] == "" || reports[0] != reports[1] {
+		t.Errorf("reports differ between full-run and prefix-fork execution:\noff: %s\non:  %s",
+			reports[0], reports[1])
+	}
+	hits := srv.Metrics().CounterVec("profipy_campaign_fork_events_total", "", "event").With("hit")
+	if hits.Value() == 0 {
+		t.Error("prefix-fork campaign engaged no fork hits")
 	}
 }

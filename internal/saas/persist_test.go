@@ -7,6 +7,7 @@ package saas
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -18,6 +19,7 @@ import (
 	"profipy/internal/analysis"
 	"profipy/internal/campaign"
 	"profipy/internal/resultstore"
+	"profipy/internal/scheduler"
 )
 
 // runDemoCampaign posts the §V-A demo campaign synchronously and
@@ -529,4 +531,83 @@ func TestTruncateTextRuneSafe(t *testing.T) {
 func jsonString(s string) string {
 	data, _ := json.Marshal(s)
 	return string(data)
+}
+
+// TestStreamDisconnectDrainsFollowSubscribers: a streaming client that
+// disconnects mid-campaign must tear its follower down via the request
+// context — the profipy_resultstore_follow_subscribers gauge returns to
+// zero instead of leaking a goroutine per dropped client.
+func TestStreamDisconnectDrainsFollowSubscribers(t *testing.T) {
+	srv, ts := newAsyncTestServer(t, Options{Cores: 4, Workers: 1})
+	started := make(chan campaign.Progress, 64)
+	gate := make(chan struct{})
+	var once atomic.Bool
+	srv.testProgressHook = func(p campaign.Progress) {
+		if p.Phase == campaign.PhaseExecute && p.Done >= 1 && once.CompareAndSwap(false, true) {
+			started <- p
+			<-gate
+		}
+	}
+	defer func() {
+		if once.CompareAndSwap(false, true) {
+			close(gate)
+		}
+	}()
+
+	req, err := DemoCampaignRequest("A", 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.SampleN = 4
+	resp, out := postJSON(t, ts.URL+"/api/v1/campaigns", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("enqueue = %d", resp.StatusCode)
+	}
+	var jobID string
+	_ = json.Unmarshal(out["job"], &jobID)
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign never reached the gate")
+	}
+	st := getJob(t, ts.URL, jobID)
+	if st.Campaign == "" {
+		t.Fatalf("running job has no campaign: %+v", st)
+	}
+
+	subscribers := srv.Metrics().Gauge("profipy_resultstore_follow_subscribers", "")
+	// Attach a follower on the live (gated) campaign and wait until the
+	// server registers it.
+	streamCtx, cancelStream := context.WithCancel(context.Background())
+	streamReq, err := http.NewRequestWithContext(streamCtx, http.MethodGet,
+		ts.URL+"/api/v1/campaigns/"+st.Campaign+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamResp, err := http.DefaultClient.Do(streamReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	waitGauge := func(want float64, what string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for subscribers.Value() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("follow_subscribers = %v, want %v (%s)", subscribers.Value(), want, what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitGauge(1, "after stream attach")
+
+	// Drop the client. The handler's Follow must observe the request
+	// context and detach even though the campaign is still live.
+	cancelStream()
+	waitGauge(0, "after client disconnect")
+
+	// Release the campaign and let the job drain normally.
+	close(gate)
+	if final, _ := pollUntilTerminal(t, ts.URL, jobID); final.State != scheduler.Done {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
 }

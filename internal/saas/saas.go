@@ -80,6 +80,12 @@ type CampaignRequest struct {
 	// the single-host N−1 pool. Records are byte-identical either way.
 	Shards       int `json:"shards,omitempty"`
 	ShardWorkers int `json:"shardWorkers,omitempty"`
+	// PrefixFork enables prefix-snapshot fork execution: round 1 of each
+	// experiment resumes from its fault site's shared prefix snapshot
+	// instead of replaying the workload from round zero. Records are
+	// byte-identical either way; experiments that cannot be forked
+	// faithfully fall back to full runs automatically.
+	PrefixFork bool `json:"prefixFork,omitempty"`
 	// Remote executes the campaign on the registered worker fleet:
 	// the plan is cut into Shards lease units (default 8) that remote
 	// workers pull, execute and stream back, with lease-expiry
@@ -145,16 +151,16 @@ type JobStatus struct {
 // run or any other long operation; campaign execution is owned by the
 // scheduler and record persistence by the result store.
 type Server struct {
-	mu        sync.RWMutex
-	projects  map[string]*Project
-	models    *faultmodel.Registry
-	campaigns map[string]*campaignRun
-	nextID    int
-	cores     int
-	sched     *scheduler.Scheduler
-	store     *resultstore.Store
-	reg       *obs.Registry
-	fleet     *fleet.Coordinator
+	mu         sync.RWMutex
+	projects   map[string]*Project
+	models     *faultmodel.Registry
+	campaigns  map[string]*campaignRun
+	nextID     int
+	cores      int
+	sched      *scheduler.Scheduler
+	store      *resultstore.Store
+	reg        *obs.Registry
+	fleet      *fleet.Coordinator
 	reqTimeout time.Duration
 	// Startup-recovery metrics: jobs re-admitted from the job journal by
 	// outcome (requeued/resumed/abandoned), and stored records replayed
@@ -559,6 +565,7 @@ func (s *Server) buildCampaignFrom(req CampaignRequest, projName string, files m
 	if env == nil {
 		return nil, "", http.StatusBadRequest, fmt.Sprintf("unknown env %q (want kvclient or plain)", req.Env)
 	}
+	captureEnv, restoreEnv, _ := kvclient.EnvCaptureByName(req.Env)
 
 	c := &campaign.Campaign{
 		Name:      req.Project,
@@ -573,6 +580,8 @@ func (s *Server) buildCampaignFrom(req CampaignRequest, projName string, files m
 			WallBudgetNS: req.ExperimentWallMS * 1_000_000,
 			Rounds:       req.Rounds,
 			Env:          env,
+			CaptureEnv:   captureEnv,
+			RestoreEnv:   restoreEnv,
 		},
 		Runtime:    sandbox.NewRuntime(sandbox.RuntimeConfig{Cores: s.cores, Seed: req.Seed}),
 		Image:      sandbox.Image{Name: req.Project, MemMB: 256, IOMBps: 10},
@@ -585,6 +594,7 @@ func (s *Server) buildCampaignFrom(req CampaignRequest, projName string, files m
 		// full record slice per campaign.
 		DiscardRecords: true,
 		Metrics:        s.reg,
+		PrefixFork:     req.PrefixFork,
 	}
 	switch {
 	case req.Remote:
@@ -880,6 +890,25 @@ func (s *Server) recover() {
 	}
 }
 
+// retryAfterHint renders the Retry-After seconds of a queue-full 429
+// from the scheduler's load estimate, rounded up and clamped to
+// [1, 300]; "5" when no campaign has finished yet (nothing to
+// estimate from).
+func (s *Server) retryAfterHint() string {
+	est, ok := s.sched.RetryAfterEstimate()
+	if !ok {
+		return "5"
+	}
+	secs := (est + time.Second - 1) / time.Second
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return strconv.FormatInt(int64(secs), 10)
+}
+
 // handleRunCampaign validates the request synchronously, enqueues the
 // campaign on the scheduler, and returns 202 with a job ID. With
 // ?wait=true it blocks until the job finishes and answers like the old
@@ -905,8 +934,11 @@ func (s *Server) handleRunCampaign(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, scheduler.ErrQueueFull) {
 			// Back-pressure, not an outage: the queue drains as campaigns
-			// finish, so tell the client to come back.
-			w.Header().Set("Retry-After", "5")
+			// finish, so tell the client when to come back — queue depth
+			// times the recent mean campaign duration, spread across the
+			// worker pool, clamped to [1s, 300s]. Before any campaign has
+			// finished there is no estimate; fall back to a fixed hint.
+			w.Header().Set("Retry-After", s.retryAfterHint())
 			httpError(w, http.StatusTooManyRequests, "cannot schedule campaign: %v", err)
 			return
 		}

@@ -90,6 +90,27 @@ func (f *FS) Clear() {
 	f.files = make(map[string][]byte)
 }
 
+// snapshot returns a deep copy of the file map (prefix-state capture).
+func (f *FS) snapshot() map[string][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]byte, len(f.files))
+	for p, d := range f.files {
+		out[p] = append([]byte(nil), d...)
+	}
+	return out
+}
+
+// restore replaces the file map with a deep copy of the snapshot.
+func (f *FS) restore(files map[string][]byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files = make(map[string][]byte, len(files))
+	for p, d := range files {
+		f.files[p] = append([]byte(nil), d...)
+	}
+}
+
 // Clone returns a deep copy (image -> container copy-on-create).
 func (f *FS) Clone() *FS {
 	f.mu.Lock()

@@ -240,10 +240,20 @@ type Scheduler struct {
 	nextID  int
 	closed  bool
 
+	// recent is a ring of the last completed jobs' execution times,
+	// feeding RetryAfterEstimate; guarded by mu.
+	recent    [recentWindow]time.Duration
+	recentLen int
+	recentIdx int
+
 	wg         sync.WaitGroup
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 }
+
+// recentWindow bounds the duration ring: enough samples to smooth one
+// noisy campaign, small enough that the estimate tracks load shifts.
+const recentWindow = 32
 
 // New builds a scheduler and starts its worker pool.
 func New(cfg Config) *Scheduler {
@@ -543,8 +553,45 @@ func (s *Scheduler) runJob(j *job) {
 		j.err = err
 	}
 	close(j.done)
+	ran := j.finished.Sub(j.started)
 	j.mu.Unlock()
+	s.noteDuration(ran)
 	s.finished(j)
+}
+
+// noteDuration folds one finished job's execution time into the recent
+// ring behind RetryAfterEstimate.
+func (s *Scheduler) noteDuration(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.recent[s.recentIdx] = d
+	s.recentIdx = (s.recentIdx + 1) % recentWindow
+	if s.recentLen < recentWindow {
+		s.recentLen++
+	}
+	s.mu.Unlock()
+}
+
+// RetryAfterEstimate predicts how long a submitter rejected with
+// ErrQueueFull should wait before retrying: the current queue depth
+// (plus the rejected job itself) times the recent mean job duration,
+// divided across the worker pool. ok is false until at least one job
+// has finished — the caller falls back to a fixed hint.
+func (s *Scheduler) RetryAfterEstimate() (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recentLen == 0 {
+		return 0, false
+	}
+	var sum time.Duration
+	for i := 0; i < s.recentLen; i++ {
+		sum += s.recent[i]
+	}
+	mean := sum / time.Duration(s.recentLen)
+	waiting := len(s.pending) + 1
+	return mean * time.Duration(waiting) / time.Duration(s.cfg.Workers), true
 }
 
 // finished runs the terminal-state bookkeeping for a job: metrics,

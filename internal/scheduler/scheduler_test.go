@@ -381,3 +381,64 @@ func TestFailedTaskReportsError(t *testing.T) {
 		t.Fatalf("status = %+v", st)
 	}
 }
+
+func TestRetryAfterEstimate(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Close()
+	if _, ok := s.RetryAfterEstimate(); ok {
+		t.Fatal("estimate available before any job finished")
+	}
+
+	// Occupy both workers and queue three jobs, so the estimate sees a
+	// known backlog.
+	started := make(chan string, 2)
+	release := make(chan struct{})
+	defer close(release)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit("run", gated(started, release, "run")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started
+	<-started
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit("q", noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Seed the duration ring directly (job wall times are not
+	// deterministic in a test): mean = 200ms.
+	s.noteDuration(100 * time.Millisecond)
+	s.noteDuration(300 * time.Millisecond)
+
+	// 3 queued + the rejected job itself = 4 waiting, mean 200ms over 2
+	// workers: 400ms.
+	est, ok := s.RetryAfterEstimate()
+	if !ok {
+		t.Fatal("no estimate after durations recorded")
+	}
+	if est != 400*time.Millisecond {
+		t.Fatalf("estimate = %v, want 400ms", est)
+	}
+}
+
+func TestFinishedJobFeedsRetryEstimate(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	id, err := s.Submit("slow", func(ctx context.Context, report func(Progress)) (any, error) {
+		time.Sleep(5 * time.Millisecond)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Wait(id)
+	est, ok := s.RetryAfterEstimate()
+	if !ok {
+		t.Fatal("no estimate after a job finished")
+	}
+	if est <= 0 {
+		t.Fatalf("estimate = %v, want > 0", est)
+	}
+}

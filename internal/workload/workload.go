@@ -61,6 +61,15 @@ type Config struct {
 	// Metrics, when set, counts watchdog firings
 	// (profipy_workload_watchdog_timeouts_total).
 	Metrics *obs.Registry
+	// CaptureEnv and RestoreEnv freeze and reapply whatever state Env
+	// keeps in the container's env bag (the kvclient server, clock base,
+	// trace spans), enabling prefix-snapshot forking. CaptureEnv returns
+	// ok=false when the environment holds state it cannot capture
+	// faithfully; RestoreEnv returns ok=false on shape mismatch. Leave
+	// both nil for environments that keep no env-bag state. See
+	// BuildPrefixes and RunForked.
+	CaptureEnv func(c *sandbox.Container) (any, bool)
+	RestoreEnv func(c *sandbox.Container, state any) bool
 }
 
 // Injector is a runtime fault injector table attachable to a workload:
@@ -194,6 +203,12 @@ func runRound(c *sandbox.Container, cfg Config) (RoundResult, error) {
 		defer wd.Stop()
 	}
 	_, err := it.Call(cfg.Entry)
+	return classify(it, err, cfg)
+}
+
+// classify turns one round's interpreter outcome into a RoundResult;
+// non-workload errors (infrastructure failures) pass through as errors.
+func classify(it *interp.Interp, err error, cfg Config) (RoundResult, error) {
 	rr := RoundResult{VirtualNS: it.Clock(), Steps: it.Steps()}
 	switch {
 	case err == nil:
