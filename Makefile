@@ -25,12 +25,14 @@ cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-# Short fuzz runs over the DSL compiler and the pattern matcher (the
-# seed corpora live under the packages' testdata/fuzz/ directories).
+# Short fuzz runs over the DSL compiler, the pattern matcher and the
+# three-engine differential interpreter target (the seed corpora live
+# under the packages' testdata/fuzz/ directories).
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./internal/dsl/
 	$(GO) test -run '^$$' -fuzz FuzzMatchPrefix -fuzztime $(FUZZTIME) ./internal/pattern/
+	$(GO) test -run '^$$' -fuzz FuzzEngineEquivalence -fuzztime $(FUZZTIME) ./internal/interp/
 
 # Regenerate the golden campaign-record fixtures (testdata/golden/)
 # after an intentional behavior change; review the diff before commit.

@@ -20,18 +20,34 @@ import (
 	"profipy/internal/interp"
 	"profipy/internal/kvclient"
 	"profipy/internal/runtimefault"
+	"profipy/internal/sandbox"
 	"profipy/internal/workload"
 )
 
-// runCampaignMode runs one §V-A campaign in the given interpreter mode.
-func runCampaignMode(tb testing.TB, treeWalk bool, seed int64) *campaign.Result {
+// campaignEngines are the three execution engines every campaign-level
+// benchmark and equivalence gate below iterates: the lowered register
+// bytecode (the default), the compiled closure tree and the per-round
+// tree-walk baseline.
+var campaignEngines = []string{"bytecode", "closure", "tree-walk"}
+
+// applyEngine configures a campaign for one engine name.
+func applyEngine(c *campaign.Campaign, engine string) {
+	if engine == "tree-walk" {
+		c.TreeWalk = true
+		return
+	}
+	c.Engine = engine
+}
+
+// runCampaignMode runs one §V-A campaign on the given engine.
+func runCampaignMode(tb testing.TB, engine string, seed int64) *campaign.Result {
 	tb.Helper()
 	rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
 	c := kvclient.CampaignA(rt, seed)
-	c.TreeWalk = treeWalk
+	applyEngine(c, engine)
 	res, err := c.Run()
 	if err != nil {
-		tb.Fatalf("campaign (treeWalk=%v): %v", treeWalk, err)
+		tb.Fatalf("campaign (engine=%s): %v", engine, err)
 	}
 	return res
 }
@@ -54,17 +70,17 @@ func TestCompiledCampaignEquivalence(t *testing.T) {
 	}
 	for _, bc := range builds {
 		t.Run(bc.name, func(t *testing.T) {
-			var out [2][]byte
-			var reports [2][]byte
-			for i, treeWalk := range []bool{false, true} {
+			recs := make([][]byte, len(campaignEngines))
+			reports := make([][]byte, len(campaignEngines))
+			for i, engine := range campaignEngines {
 				rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
 				c := bc.build(rt, bc.seed)
-				c.TreeWalk = treeWalk
+				applyEngine(c, engine)
 				res, err := c.Run()
 				if err != nil {
-					t.Fatalf("treeWalk=%v: %v", treeWalk, err)
+					t.Fatalf("engine=%s: %v", engine, err)
 				}
-				recs, err := json.Marshal(res.Records)
+				r, err := json.Marshal(res.Records)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -72,14 +88,18 @@ func TestCompiledCampaignEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				out[i] = recs
+				recs[i] = r
 				reports[i] = rep
 			}
-			if !bytes.Equal(out[0], out[1]) {
-				t.Errorf("records differ between compiled and tree-walk execution")
-			}
-			if !bytes.Equal(reports[0], reports[1]) {
-				t.Errorf("reports differ between compiled and tree-walk execution")
+			for i := 1; i < len(campaignEngines); i++ {
+				if !bytes.Equal(recs[0], recs[i]) {
+					t.Errorf("records differ between %s and %s execution",
+						campaignEngines[0], campaignEngines[i])
+				}
+				if !bytes.Equal(reports[0], reports[i]) {
+					t.Errorf("reports differ between %s and %s execution",
+						campaignEngines[0], campaignEngines[i])
+				}
 			}
 		})
 	}
@@ -152,6 +172,177 @@ func TestRuntimeOnlySkipsRecompile(t *testing.T) {
 	}
 }
 
+// loweringAllowedEscapes are the only functions of the benchmark corpus
+// permitted to escape statements to the closure path, with their exact
+// escape counts. Anything else — a new name here, or a higher count —
+// means the bytecode engine's coverage regressed and part of the corpus
+// silently fell back to closure speed, which would quietly invalidate
+// every bytecode-vs-closure row in BENCH_exec.json.
+var loweringAllowedEscapes = map[string]int{
+	"Client.tryOnce": 1, // defer-with-closure protection wrapper
+	"runProtected":   1, // same construct on the workload side
+}
+
+// loweringMaxExprEscapes bounds expression escapes (subexpressions
+// evaluated through the closure artifact inside otherwise-lowered
+// statements) across the corpus. Raising it requires a deliberate edit
+// here, not a silent fallback.
+const loweringMaxExprEscapes = 18
+
+// TestBytecodeLoweringCoverage is the no-silent-fallback gate of the
+// benchmark suite: it compiles the benchmark corpus (both workload
+// variants) and fails when the bytecode engine stops fully lowering it.
+func TestBytecodeLoweringCoverage(t *testing.T) {
+	variants := []struct {
+		name     string
+		workload []byte
+		minFuncs int
+	}{
+		{"standard", []byte(kvclient.WorkloadSource), 40},
+		{"late-site", []byte(kvclient.LateWorkloadSource), 30},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			files := kvclient.Sources()
+			files[kvclient.FileWorkload] = v.workload
+			cfg := kvclient.WorkloadConfig()
+			units := make([]interp.SourceUnit, 0, len(cfg.Files))
+			for _, f := range cfg.Files {
+				units = append(units, interp.SourceUnit{Name: f, Src: files[f]})
+			}
+			prog, err := interp.CompileProgram(units)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := prog.LoweringReport()
+			if rep.Funcs < v.minFuncs {
+				t.Fatalf("corpus shrank to %d compiled functions (want >= %d); the lowering gate expects the full kvclient corpus",
+					rep.Funcs, v.minFuncs)
+			}
+			for name, n := range rep.Escapes {
+				allowed, ok := loweringAllowedEscapes[name]
+				if !ok {
+					t.Errorf("function %s escapes %d statement(s) to the closure path; the corpus must stay fully lowered (known escapes: %v)",
+						name, n, loweringAllowedEscapes)
+				} else if n > allowed {
+					t.Errorf("function %s escapes %d statement(s), up from %d; bytecode lowering coverage regressed", name, n, allowed)
+				}
+			}
+			if want := rep.Funcs - len(loweringAllowedEscapes); rep.Fully < want {
+				t.Errorf("only %d of %d functions fully lowered (want >= %d); report: %+v",
+					rep.Fully, rep.Funcs, want, rep)
+			}
+			if rep.ExprEscapes > loweringMaxExprEscapes {
+				t.Errorf("corpus has %d expression escapes (gate: %d); bytecode lowering coverage regressed",
+					rep.ExprEscapes, loweringMaxExprEscapes)
+			}
+		})
+	}
+}
+
+// lateSites are the lock/auth functions the late-site workload first
+// reaches near the end of round 1 — the injection sites of
+// campaign-late, and the sites the snapshot/fork microbenchmarks below
+// build prefixes for.
+var lateSites = []string{
+	"Lock.Acquire", "Lock.Release",
+	"Auth.AddUser", "Auth.ListUsers", "Auth.SaveToken", "Auth.RemoveUser",
+}
+
+// latePrefixSetup compiles the late-site corpus and returns everything
+// the prefix microbenchmarks need: runtime, image with the file layer,
+// and the workload config holding the compiled program.
+func latePrefixSetup(tb testing.TB) (*Runtime, sandbox.Image, workload.Config) {
+	tb.Helper()
+	files := kvclient.Sources()
+	files[kvclient.FileWorkload] = []byte(kvclient.LateWorkloadSource)
+	cfg := kvclient.WorkloadConfig()
+	units := make([]interp.SourceUnit, 0, len(cfg.Files))
+	for _, f := range cfg.Files {
+		units = append(units, interp.SourceUnit{Name: f, Src: files[f]})
+	}
+	prog, err := interp.CompileProgram(units)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg.Program = prog
+	rt := NewRuntime(RuntimeConfig{Cores: 2, Seed: 7})
+	img := kvclient.Image()
+	img.Files = files
+	return rt, img, cfg
+}
+
+// buildLatePrefixes runs one BuildPrefixes pass over the late-site
+// corpus and asserts every site got a prefix — a partially covered set
+// would let the fork microbenchmark silently measure a fallback.
+func buildLatePrefixes(tb testing.TB, rt *Runtime, img sandbox.Image, cfg workload.Config) *workload.PrefixSet {
+	tb.Helper()
+	ctr := rt.CreateSeeded(img, 7)
+	ps, err := workload.BuildPrefixes(ctr, cfg, lateSites)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := rt.Destroy(ctr); err != nil {
+		tb.Fatal(err)
+	}
+	st := ps.Stats()
+	if st.Covered != len(lateSites) {
+		tb.Fatalf("prefix build covered %d of %d late sites (snapshots=%d)", st.Covered, len(lateSites), st.Snapshots)
+	}
+	return ps
+}
+
+// BenchmarkPrefixSnapshot measures the cost of one full BuildPrefixes
+// pass over the late-site workload: the base round executed once with a
+// boundary snapshot captured per top-level statement until all sites
+// are assigned. AllocedBytes/op divided by the snapshot count is the
+// per-snapshot memory footprint BENCH_exec.json reports.
+func BenchmarkPrefixSnapshot(b *testing.B) {
+	rt, img, cfg := latePrefixSetup(b)
+	snapshots := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctr := rt.CreateSeeded(img, 7)
+		ps, err := workload.BuildPrefixes(ctr, cfg, lateSites)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snapshots = ps.Stats().Snapshots
+		if err := rt.Destroy(ctr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(snapshots), "snapshots")
+}
+
+// BenchmarkPrefixFork measures one forked experiment (round 1 resumed
+// from a late-site snapshot, round 2 run in full) against the full
+// two-round run of BenchmarkExperimentRound / experiment-two-rounds.
+// The headroom between them is what campaign-late's fork on/off A/B
+// realizes end to end.
+func BenchmarkPrefixFork(b *testing.B) {
+	rt, img, cfg := latePrefixSetup(b)
+	ps := buildLatePrefixes(b, rt, img, cfg)
+	pre := ps.For(lateSites[0])
+	spec := workload.ForkSpec{Prefix: pre, BaseFiles: img.Files}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctr := rt.CreateSeeded(img, 7)
+		res, ok, err := workload.RunForked(ctr, cfg, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok || res == nil {
+			b.Fatal("fork fell back to a full run; the microbenchmark would measure the wrong path")
+		}
+		if err := rt.Destroy(ctr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRuntimeExperiment measures one runtime-injection experiment
 // (engine build + two workload rounds) against a prebuilt base program:
 // the path that skips per-experiment recompilation entirely. Compare
@@ -200,14 +391,11 @@ func BenchmarkRuntimeExperiment(b *testing.B) {
 // (scan + coverage + all experiments + analysis) in experiments per
 // wall second, compiled vs the tree-walk baseline.
 func BenchmarkCampaignExecution(b *testing.B) {
-	for _, mode := range []struct {
-		name     string
-		treeWalk bool
-	}{{"compiled", false}, {"tree-walk", true}} {
-		b.Run(mode.name, func(b *testing.B) {
+	for _, engine := range campaignEngines {
+		b.Run(engine, func(b *testing.B) {
 			experiments := 0
 			for i := 0; i < b.N; i++ {
-				res := runCampaignMode(b, mode.treeWalk, 101)
+				res := runCampaignMode(b, engine, 101)
 				experiments = len(res.Records)
 			}
 			b.ReportMetric(float64(experiments*b.N)/b.Elapsed().Seconds(), "experiments/s")
@@ -223,6 +411,11 @@ type execBenchResult struct {
 	AllocsPerOp      int64   `json:"allocsPerOp"`
 	BytesPerOp       int64   `json:"bytesPerOp"`
 	ExperimentsPerSc float64 `json:"experimentsPerSec,omitempty"`
+	// Snapshots and BytesPerSnapshot describe the prefix-snapshot rows:
+	// boundary snapshots captured per BuildPrefixes pass and the
+	// allocation footprint of one snapshot (pass bytes / snapshots).
+	Snapshots        int   `json:"snapshots,omitempty"`
+	BytesPerSnapshot int64 `json:"bytesPerSnapshot,omitempty"`
 }
 
 // TestEmitExecBenchJSON measures the execute phase in both modes and
@@ -236,11 +429,11 @@ func TestEmitExecBenchJSON(t *testing.T) {
 	}
 
 	var rows []execBenchResult
-	measureCampaign := func(name string, treeWalk bool) {
+	measureCampaign := func(name, engine string) {
 		experiments := 0
 		br := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := runCampaignMode(b, treeWalk, 101)
+				res := runCampaignMode(b, engine, 101)
 				experiments = len(res.Records)
 			}
 		})
@@ -255,13 +448,14 @@ func TestEmitExecBenchJSON(t *testing.T) {
 		}
 		rows = append(rows, row)
 	}
-	measureCampaign("campaign-exec/compiled", false)
-	measureCampaign("campaign-exec/tree-walk", true)
+	for _, engine := range campaignEngines {
+		measureCampaign("campaign-exec/"+engine, engine)
+	}
 
-	measureRound := func(name string, treeWalk bool) {
+	measureRound := func(name, engine string) {
 		files := kvclient.Sources()
 		cfg := kvclient.WorkloadConfig()
-		if !treeWalk {
+		if engine != "tree-walk" {
 			units := make([]interp.SourceUnit, 0, len(cfg.Files))
 			for _, f := range cfg.Files {
 				units = append(units, interp.SourceUnit{Name: f, Src: files[f]})
@@ -271,6 +465,7 @@ func TestEmitExecBenchJSON(t *testing.T) {
 				t.Fatal(err)
 			}
 			cfg.Program = prog
+			cfg.Engine = engine
 		}
 		br := testing.Benchmark(func(b *testing.B) {
 			rt := NewRuntime(RuntimeConfig{Cores: 2, Seed: 7})
@@ -294,8 +489,9 @@ func TestEmitExecBenchJSON(t *testing.T) {
 			BytesPerOp:  br.AllocedBytesPerOp(),
 		})
 	}
-	measureRound("experiment-two-rounds/compiled", false)
-	measureRound("experiment-two-rounds/tree-walk", true)
+	for _, engine := range campaignEngines {
+		measureRound("experiment-two-rounds/"+engine, engine)
+	}
 
 	// Fork on/off A/B on the late-site scenario: every injection site in
 	// campaign-late is first reached near the end of round 1, so the
@@ -304,7 +500,7 @@ func TestEmitExecBenchJSON(t *testing.T) {
 	// The ForkHits assertion is the CI smoke that the fork path actually
 	// engaged — a silent fallback to full runs would otherwise report a
 	// ~1.00x row without failing anything.
-	measureForkCampaign := func(name string, fork bool) {
+	measureForkCampaign := func(name, engine string, fork bool) {
 		experiments := 0
 		snapshots, hits := 0, 0
 		br := testing.Benchmark(func(b *testing.B) {
@@ -312,16 +508,17 @@ func TestEmitExecBenchJSON(t *testing.T) {
 				rt := NewRuntime(RuntimeConfig{Cores: 4, Seed: 20})
 				c := kvclient.CampaignLate(rt, 707)
 				c.PrefixFork = fork
+				applyEngine(c, engine)
 				res, err := c.Run()
 				if err != nil {
-					b.Fatalf("campaign-late (fork=%v): %v", fork, err)
+					b.Fatalf("campaign-late (fork=%v, engine=%s): %v", fork, engine, err)
 				}
 				experiments = len(res.Records)
 				snapshots, hits = res.ForkSnapshots, res.ForkHits
 			}
 		})
 		if fork && (snapshots == 0 || hits == 0) {
-			t.Fatalf("prefix-fork did not engage: snapshots=%d hits=%d", snapshots, hits)
+			t.Fatalf("prefix-fork (engine=%s) did not engage: snapshots=%d hits=%d", engine, snapshots, hits)
 		}
 		row := execBenchResult{
 			Name:        name,
@@ -334,16 +531,115 @@ func TestEmitExecBenchJSON(t *testing.T) {
 		}
 		rows = append(rows, row)
 	}
-	measureForkCampaign("campaign-late/prefix-fork", true)
-	measureForkCampaign("campaign-late/full-runs", false)
+	measureForkCampaign("campaign-late/prefix-fork-bytecode", "bytecode", true)
+	measureForkCampaign("campaign-late/prefix-fork-closure", "closure", true)
+	measureForkCampaign("campaign-late/full-runs-bytecode", "bytecode", false)
 
+	// Snapshot-size / fork-cost microbenchmark rows: what one
+	// BuildPrefixes pass costs (time and per-snapshot memory), and one
+	// forked experiment vs the same experiment run in full, both on the
+	// late-site workload where the fork pays off most.
+	{
+		rt, img, cfg := latePrefixSetup(t)
+		snapshots := 0
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctr := rt.CreateSeeded(img, 7)
+				ps, err := workload.BuildPrefixes(ctr, cfg, lateSites)
+				if err != nil {
+					b.Fatal(err)
+				}
+				snapshots = ps.Stats().Snapshots
+				if err := rt.Destroy(ctr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		row := execBenchResult{
+			Name:        "prefix-snapshot/build-pass",
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			Snapshots:   snapshots,
+		}
+		if snapshots > 0 {
+			row.BytesPerSnapshot = br.AllocedBytesPerOp() / int64(snapshots)
+		}
+		rows = append(rows, row)
+
+		ps := buildLatePrefixes(t, rt, img, cfg)
+		spec := workload.ForkSpec{Prefix: ps.For(lateSites[0]), BaseFiles: img.Files}
+		forked := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctr := rt.CreateSeeded(img, 7)
+				res, ok, err := workload.RunForked(ctr, cfg, spec)
+				if err != nil || !ok || res == nil {
+					b.Fatalf("fork fell back to a full run (ok=%v err=%v)", ok, err)
+				}
+				if err := rt.Destroy(ctr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, execBenchResult{
+			Name:        "prefix-fork/forked-experiment",
+			NsPerOp:     float64(forked.NsPerOp()),
+			AllocsPerOp: forked.AllocsPerOp(),
+			BytesPerOp:  forked.AllocedBytesPerOp(),
+		})
+		full := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctr := rt.CreateSeeded(img, 7)
+				if _, err := workload.Run(ctr, cfg); err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Destroy(ctr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, execBenchResult{
+			Name:        "prefix-fork/full-experiment",
+			NsPerOp:     float64(full.NsPerOp()),
+			AllocsPerOp: full.AllocsPerOp(),
+			BytesPerOp:  full.AllocedBytesPerOp(),
+		})
+	}
+
+	// The speedup map pairs rows by name: each entry divides the
+	// baseline row's ns/op by the subject row's, so >1.00x means the
+	// subject is faster.
+	ratio := func(subject, baseline string) (string, bool) {
+		var num, den float64
+		for _, r := range rows {
+			if r.Name == subject {
+				den = r.NsPerOp
+			}
+			if r.Name == baseline {
+				num = r.NsPerOp
+			}
+		}
+		if num <= 0 || den <= 0 {
+			return "", false
+		}
+		return fmt.Sprintf("%.2fx", num/den), true
+	}
 	out := struct {
 		Benchmarks []execBenchResult `json:"benchmarks"`
 		Speedup    map[string]string `json:"speedup"`
 	}{Benchmarks: rows, Speedup: map[string]string{}}
-	for i := 0; i+1 < len(rows); i += 2 {
-		if rows[i].NsPerOp > 0 {
-			out.Speedup[rows[i].Name] = fmt.Sprintf("%.2fx", rows[i+1].NsPerOp/rows[i].NsPerOp)
+	for name, pair := range map[string][2]string{
+		"campaign-exec bytecode-vs-closure":           {"campaign-exec/bytecode", "campaign-exec/closure"},
+		"campaign-exec bytecode-vs-tree-walk":         {"campaign-exec/bytecode", "campaign-exec/tree-walk"},
+		"campaign-exec closure-vs-tree-walk":          {"campaign-exec/closure", "campaign-exec/tree-walk"},
+		"experiment-two-rounds bytecode-vs-closure":   {"experiment-two-rounds/bytecode", "experiment-two-rounds/closure"},
+		"experiment-two-rounds bytecode-vs-tree-walk": {"experiment-two-rounds/bytecode", "experiment-two-rounds/tree-walk"},
+		"campaign-late prefix-fork-vs-full-runs":      {"campaign-late/prefix-fork-bytecode", "campaign-late/full-runs-bytecode"},
+		"campaign-late fork bytecode-vs-closure":      {"campaign-late/prefix-fork-bytecode", "campaign-late/prefix-fork-closure"},
+		"late-experiment forked-vs-full":              {"prefix-fork/forked-experiment", "prefix-fork/full-experiment"},
+	} {
+		if v, ok := ratio(pair[0], pair[1]); ok {
+			out.Speedup[name] = v
 		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -61,6 +61,12 @@ type Campaign struct {
 	// compile-once program (used by equivalence tests and benchmarks;
 	// results are identical, execution is several times slower).
 	TreeWalk bool
+	// Engine selects the compiled path's execution engine: "" or
+	// "bytecode" runs the lowered register bytecode (default),
+	// "closure" the closure tree. Ignored under TreeWalk. Records and
+	// reports are byte-identical across engines.
+	Engine string
+
 	// PrefixFork enables experiment-prefix snapshot/fork execution: the
 	// base program's round 1 runs once, snapshotting at each injection
 	// site's first reach, and every experiment resumes from its site's
@@ -177,6 +183,19 @@ type Result struct {
 	Phases []trace.Span
 }
 
+// engineLabel names the interpretation engine the campaign's
+// experiments execute on, for metrics: the bytecode VM by default.
+func (c *Campaign) engineLabel() string {
+	switch {
+	case c.TreeWalk:
+		return "tree-walk"
+	case c.Engine == "":
+		return "bytecode"
+	default:
+		return c.Engine
+	}
+}
+
 // Run executes the full workflow.
 func (c *Campaign) Run() (*Result, error) {
 	return c.RunContext(context.Background())
@@ -187,7 +206,7 @@ func (c *Campaign) Run() (*Result, error) {
 // experiments finish, pending ones are skipped, and the ctx error is
 // returned.
 func (c *Campaign) RunContext(ctx context.Context) (*Result, error) {
-	met := newMetrics(c.Metrics)
+	met := newMetrics(c.Metrics, c.engineLabel())
 	met.run("started")
 	res, err := c.runContext(ctx, met)
 	switch {
@@ -254,6 +273,7 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 	compileStart := time.Now()
 	wcfg := c.Workload
 	wcfg.Program = c.compileBase(cache)
+	wcfg.Engine = c.Engine
 	phaseSpan("compile", compileStart)
 
 	// --- Coverage analysis (fault-free instrumented run) ---
@@ -292,6 +312,19 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 		img := c.Image
 		img.Files = c.Files
 		exec = executor.Local{Workers: c.Runtime.MaxParallel(img), Reg: c.Metrics}
+	}
+	// Stamp the interpretation engine on whichever executor runs the
+	// experiments, so executor metrics carry the engine label (same
+	// value-copy discipline as Skip below).
+	switch e := exec.(type) {
+	case executor.Local:
+		e.VM = c.engineLabel()
+		exec = e
+	case executor.Sharded:
+		e.VM = c.engineLabel()
+		exec = e
+	case *executor.Remote:
+		e.VM = c.engineLabel()
 	}
 	var collect *executor.Collect
 	if !c.DiscardRecords {
@@ -439,7 +472,8 @@ func (c *Campaign) runContext(ctx context.Context, met *cmetrics) (*Result, erro
 		res.Injected += rmInj
 	}
 	if prog := runner.Program(); prog != nil {
-		met.cache(prog.CacheStats())
+		hits, misses := prog.CacheStats()
+		met.cache(hits, misses, prog.IncrementalRecompiles())
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)

@@ -9,11 +9,13 @@ import (
 // cmetrics instruments campaign runs. A nil *cmetrics is valid and
 // inert, so call sites stay unconditional.
 type cmetrics struct {
+	engine      string          // interpretation engine label value
 	runs        *obs.CounterVec // status = started | completed | failed | canceled
-	experiments *obs.CounterVec // result = ok | error
+	experiments *obs.CounterVec // result = ok | error, engine = bytecode | closure | tree-walk
 	phaseDur    *obs.HistogramVec
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+	cacheIncr   *obs.Counter
 	forkEvents  *obs.CounterVec // event = snapshot | hit | miss
 }
 
@@ -21,21 +23,27 @@ type cmetrics struct {
 // execution phases.
 var phaseBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 5, 15, 60, 300}
 
-func newMetrics(reg *obs.Registry) *cmetrics {
+// newMetrics builds the campaign instrumentation. engine labels the
+// interpretation engine the experiments run on ("bytecode", "closure"
+// or "tree-walk").
+func newMetrics(reg *obs.Registry, engine string) *cmetrics {
 	if reg == nil {
 		return nil
 	}
 	return &cmetrics{
+		engine: engine,
 		runs: reg.CounterVec("profipy_campaign_runs_total",
 			"Campaign workflow runs, by lifecycle event.", "status"),
 		experiments: reg.CounterVec("profipy_campaign_experiments_total",
-			"Completed experiments, by outcome (error = infrastructure abort).", "result"),
+			"Completed experiments, by outcome (error = infrastructure abort) and interpretation engine.", "result", "engine"),
 		phaseDur: reg.HistogramVec("profipy_campaign_phase_seconds",
 			"Wall-clock time per campaign workflow phase.", phaseBuckets, "phase"),
 		cacheHits: reg.Counter("profipy_campaign_compile_cache_hits_total",
 			"Per-experiment program derivations served from the content-hash unit cache."),
 		cacheMisses: reg.Counter("profipy_campaign_compile_cache_misses_total",
 			"Per-experiment program derivations that had to recompile the mutated file."),
+		cacheIncr: reg.Counter("profipy_campaign_compile_incremental_total",
+			"Compile-cache misses served by the declaration-level incremental recompile instead of a whole-file recompile."),
 		forkEvents: reg.CounterVec("profipy_campaign_fork_events_total",
 			"Prefix-fork activity: boundary snapshots captured, experiments resumed from a snapshot (hit), fork attempts that fell back to a full run (miss).", "event"),
 	}
@@ -58,9 +66,9 @@ func (m *cmetrics) experiment(infraError bool) {
 		return
 	}
 	if infraError {
-		m.experiments.With("error").Inc()
+		m.experiments.With("error", m.engine).Inc()
 	} else {
-		m.experiments.With("ok").Inc()
+		m.experiments.With("ok", m.engine).Inc()
 	}
 }
 
@@ -73,9 +81,10 @@ func (m *cmetrics) fork(snapshots, hits, misses int) {
 	m.forkEvents.With("miss").Add(float64(misses))
 }
 
-func (m *cmetrics) cache(hits, misses uint64) {
+func (m *cmetrics) cache(hits, misses, incremental uint64) {
 	if m != nil {
 		m.cacheHits.Add(float64(hits))
 		m.cacheMisses.Add(float64(misses))
+		m.cacheIncr.Add(float64(incremental))
 	}
 }

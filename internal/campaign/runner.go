@@ -90,6 +90,7 @@ func NewRunner(c *Campaign, covered map[string]bool) (*Runner, error) {
 func (c *Campaign) prepareRunner(cache *scanner.ProjectCache, pl *plan.Plan, covered map[string]bool) (*Runner, error) {
 	wcfg := c.Workload
 	wcfg.Program = c.compileBase(cache)
+	wcfg.Engine = c.Engine
 	if wcfg.Metrics == nil {
 		wcfg.Metrics = c.Metrics
 	}

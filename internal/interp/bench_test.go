@@ -67,81 +67,130 @@ func Workload() any {
 }
 `
 
-// BenchmarkRoundTreeWalk measures one full workload round on the
-// tree-walk path: parse + load + execute, which is what every round of
-// every experiment paid before the compile layer.
-func BenchmarkRoundTreeWalk(b *testing.B) {
-	src := []byte(benchSource)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		it := New(Config{})
-		if err := it.LoadSource("w.go", src); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := it.Call("Workload"); err != nil {
-			b.Fatal(err)
+// hotSource isolates the pooled slot-frame call path with small-int
+// arithmetic (values stay in the runtime's small-value cache), so
+// allocs/op reflects frame setup only.
+const hotSource = `package main
+func Hot() any {
+	count := 0
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			count++
 		}
 	}
+	return count
+}`
+
+// engineBench is one row of the per-engine benchmark table. New engines
+// slot in here; every benchmark below iterates the table.
+type engineBench struct {
+	name     string
+	treeWalk bool   // Scope-chain front end (New + LoadSource)
+	engine   string // Config.Engine for the compiled front end
 }
 
-// BenchmarkRoundCompiled measures one full workload round on the
-// compiled path: the program is compiled once per campaign, so a round
-// costs NewRun + Boot + execute.
-func BenchmarkRoundCompiled(b *testing.B) {
-	prog, err := CompileProgram([]SourceUnit{{Name: "w.go", Src: []byte(benchSource)}})
+var engineBenches = []engineBench{
+	{name: "tree-walk", treeWalk: true},
+	{name: "closure", engine: "closure"},
+	{name: "bytecode", engine: "bytecode"},
+}
+
+// newBenchInterp builds a ready-to-call interpreter for one engine row
+// over the given source.
+func newBenchInterp(tb testing.TB, eb engineBench, src string) *Interp {
+	cfg := Config{MaxSteps: 1 << 60, Engine: eb.engine}
+	if eb.treeWalk {
+		it := New(cfg)
+		if err := it.LoadSource("w.go", []byte(src)); err != nil {
+			tb.Fatal(err)
+		}
+		return it
+	}
+	prog, err := CompileProgram([]SourceUnit{{Name: "w.go", Src: []byte(src)}})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		it := NewRun(prog, Config{})
-		if err := it.Boot(); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := it.Call("Workload"); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkExecTreeWalk / BenchmarkExecCompiled isolate pure execution
-// (front-end work done once outside the loop) — the slot-frame runtime
-// against the Scope-chain tree-walk.
-func BenchmarkExecTreeWalk(b *testing.B) {
-	it := New(Config{MaxSteps: 1 << 60})
-	if err := it.LoadSource("w.go", []byte(benchSource)); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := it.Call("Workload"); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkExecCompiled(b *testing.B) {
-	prog, err := CompileProgram([]SourceUnit{{Name: "w.go", Src: []byte(benchSource)}})
-	if err != nil {
-		b.Fatal(err)
-	}
-	it := NewRun(prog, Config{MaxSteps: 1 << 60})
+	it := NewRun(prog, cfg)
 	if err := it.Boot(); err != nil {
+		tb.Fatal(err)
+	}
+	return it
+}
+
+// BenchmarkExec isolates pure execution per engine (front-end work done
+// once outside the loop).
+func BenchmarkExec(b *testing.B) {
+	for _, eb := range engineBenches {
+		b.Run(eb.name, func(b *testing.B) {
+			it := newBenchInterp(b, eb, benchSource)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := it.Call("Workload"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRound measures one full workload round per engine: what one
+// experiment round pays including interpreter setup. The compiled rows
+// compile once outside the loop (a campaign compiles once and reuses the
+// Program across all experiments), so a round is NewRun + Boot + execute;
+// the tree-walk re-parses every round, as it must.
+func BenchmarkRound(b *testing.B) {
+	src := []byte(benchSource)
+	prog, err := CompileProgram([]SourceUnit{{Name: "w.go", Src: src}})
+	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := it.Call("Workload"); err != nil {
-			b.Fatal(err)
-		}
+	for _, eb := range engineBenches {
+		b.Run(eb.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if eb.treeWalk {
+					it := New(Config{})
+					if err := it.LoadSource("w.go", src); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := it.Call("Workload"); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				it := NewRun(prog, Config{Engine: eb.engine})
+				if err := it.Boot(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := it.Call("Workload"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCallHotPath runs the tight arithmetic loop per engine; the
+// compiled rows must stay allocation-free in steady state.
+func BenchmarkCallHotPath(b *testing.B) {
+	for _, eb := range engineBenches {
+		b.Run(eb.name, func(b *testing.B) {
+			it := newBenchInterp(b, eb, hotSource)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := it.Call("Hot"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkCompileProgram measures the one-time compile cost a campaign
-// amortizes over all rounds and experiments.
+// amortizes over all rounds and experiments (closure tree + lowered
+// bytecode are built in the same pass).
 func BenchmarkCompileProgram(b *testing.B) {
 	src := []byte(benchSource)
 	b.ReportAllocs()
@@ -152,67 +201,13 @@ func BenchmarkCompileProgram(b *testing.B) {
 	}
 }
 
-// BenchmarkCompiledCallHotPath isolates the pooled slot-frame call path
-// with small-int arithmetic (values stay in the runtime's small-value
-// cache), so allocs/op reflects frame setup only.
-func BenchmarkCompiledCallHotPath(b *testing.B) {
-	prog, err := CompileProgram([]SourceUnit{{Name: "w.go", Src: []byte(`package main
-func Hot() any {
-	count := 0
-	for i := 0; i < 200; i++ {
-		if i%2 == 0 {
-			count++
-		}
-	}
-	return count
-}`)}})
-	if err != nil {
-		b.Fatal(err)
-	}
-	it := NewRun(prog, Config{MaxSteps: 1 << 60})
-	if err := it.Boot(); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := it.Call("Hot"); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// TestCompiledHotPathAllocs asserts the sync.Pool'd frame path: the
-// compiled hot loop must allocate far less than the tree-walk (which
-// builds a Scope map per block per iteration) and stay under a fixed
-// small bound per call.
+// TestCompiledHotPathAllocs asserts the sync.Pool'd frame path on both
+// compiled engines: the hot loop must allocate far less than the
+// tree-walk (which builds a Scope map per block per iteration) and stay
+// under a fixed small bound per call.
 func TestCompiledHotPathAllocs(t *testing.T) {
-	src := []byte(`package main
-func Hot() any {
-	count := 0
-	for i := 0; i < 200; i++ {
-		if i%2 == 0 {
-			count++
-		}
-	}
-	return count
-}`)
-	prog, err := CompileProgram([]SourceUnit{{Name: "w.go", Src: src}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	crun := NewRun(prog, Config{MaxSteps: 1 << 60})
-	if err := crun.Boot(); err != nil {
-		t.Fatal(err)
-	}
-	compiled := testing.AllocsPerRun(200, func() {
-		if _, err := crun.Call("Hot"); err != nil {
-			t.Fatal(err)
-		}
-	})
-
 	tw := New(Config{MaxSteps: 1 << 60})
-	if err := tw.LoadSource("w.go", src); err != nil {
+	if err := tw.LoadSource("w.go", []byte(hotSource)); err != nil {
 		t.Fatal(err)
 	}
 	tree := testing.AllocsPerRun(200, func() {
@@ -221,12 +216,23 @@ func Hot() any {
 		}
 	})
 
-	t.Logf("allocs/call: compiled=%.1f tree-walk=%.1f", compiled, tree)
-	if compiled > 8 {
-		t.Errorf("compiled hot path allocates %.1f/call, want <= 8 (pooled frames)", compiled)
-	}
-	if compiled*20 > tree {
-		t.Errorf("compiled hot path allocates %.1f/call vs tree-walk %.1f — expected >= 20x reduction",
-			compiled, tree)
+	for _, eb := range engineBenches {
+		if eb.treeWalk {
+			continue
+		}
+		crun := newBenchInterp(t, eb, hotSource)
+		compiled := testing.AllocsPerRun(200, func() {
+			if _, err := crun.Call("Hot"); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("allocs/call: %s=%.1f tree-walk=%.1f", eb.name, compiled, tree)
+		if compiled > 8 {
+			t.Errorf("%s hot path allocates %.1f/call, want <= 8 (pooled frames)", eb.name, compiled)
+		}
+		if compiled*20 > tree {
+			t.Errorf("%s hot path allocates %.1f/call vs tree-walk %.1f — expected >= 20x reduction",
+				eb.name, compiled, tree)
+		}
 	}
 }

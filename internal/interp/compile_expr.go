@@ -87,6 +87,20 @@ func (c *compiler) compileAssign(fc *fnCtx, st *ast.AssignStmt) cstmt {
 		op, opOK := compoundOp(st.Tok)
 		asn := c.compileAssignTarget(fc, st.Lhs[0])
 		tok := st.Tok
+		if A := fc.asm; A != nil && opOK {
+			A.step()
+			tm := A.tmpMark()
+			t1, t2 := A.tmp(), A.tmp()
+			c.lowerExpr(fc, st.Lhs[0], t1)
+			c.lowerExpr(fc, st.Rhs[0], t2)
+			if aop, ok := arithOps[op]; ok {
+				A.emit(aop, t1, t2, t1, nil)
+			} else {
+				A.emit(opBinOther, t1, t2, t1, op)
+			}
+			c.lowerStore(fc, st.Lhs[0], t1)
+			A.rel(tm)
+		}
 		return func(it *Interp, fr *cframe) (control, Value, error) {
 			if err := it.step(); err != nil {
 				return ctlNone, nil, err
@@ -179,6 +193,16 @@ func (c *compiler) compileAssign(fc *fnCtx, st *ast.AssignStmt) cstmt {
 		rhsxs[i] = c.compileExpr(fc, r)
 	}
 	single := len(st.Lhs) == 1
+	if single {
+		A := fc.asm
+		A.step()
+		tm := A.tmpMark()
+		t := A.tmp()
+		c.lowerExpr(fc, st.Rhs[0], t)
+		A.emit(opUnwrap1, t, 0, 0, nil)
+		c.lowerStore(fc, st.Lhs[0], t)
+		A.rel(tm)
+	}
 	return func(it *Interp, fr *cframe) (control, Value, error) {
 		if err := it.step(); err != nil {
 			return ctlNone, nil, err
@@ -293,7 +317,17 @@ func (c *compiler) compileExprF(fc *fnCtx, e ast.Expr) (cexpr, foldInfo) {
 		return c.compileComposite(fc, x), foldInfo{}
 
 	case *ast.FuncLit:
-		fn := c.compileFunc(fc, "<func>", x.Type, x.Body, "")
+		// Memoized: the fused walk can visit one literal from both the
+		// closure build and the lowering emitter; they must share one
+		// compiledFunc (and compile the literal's body exactly once).
+		fn := c.litFns[x]
+		if fn == nil {
+			fn = c.compileFunc(fc, "<func>", x.Type, x.Body, "")
+			if c.litFns == nil {
+				c.litFns = make(map[*ast.FuncLit]*compiledFunc)
+			}
+			c.litFns[x] = fn
+		}
 		return func(it *Interp, fr *cframe) (Value, error) {
 			cl := &compiledClosure{fn: fn}
 			if len(fn.caps) > 0 {

@@ -1,0 +1,100 @@
+package interp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// FuzzEngineEquivalence is the differential fuzz target over the three
+// execution engines: every program the tree-walk loads must behave
+// identically on the closure-compiled path and the bytecode VM —
+// same result rendering, same error text, same step count, same
+// virtual clock, same stdout bytes. This is the property the golden
+// campaigns rest on (records are byte-identical across engines), so
+// any divergence the fuzzer finds here is a record-corrupting bug.
+//
+// Programs that fail to parse or load are skipped: the front end is
+// shared, so there is nothing differential to check. MaxSteps bounds
+// runaway loops the fuzzer invents.
+func FuzzEngineEquivalence(f *testing.F) {
+	seeds := []string{
+		// Arithmetic, comparisons, truthiness.
+		"func F() any { s := 0\nfor i := 0; i < 10; i++ { s = s + i*i }\nreturn s }",
+		"func F() any { if 0.5 + 0.25 > 0.7 { return \"y\" }\nreturn \"n\" }",
+		"func F() any { return 7 / 2 + 7 % 2 }",
+		// Exceptions: div by zero, type errors, explicit panic/recover.
+		"func F() any { return 1 / 0 }",
+		"func F() any { return \"a\" - 1 }",
+		"func F() any { defer func() { recover() }()\npanic(\"boom\") }",
+		"func G() { panic(\"deep\") }\nfunc F() any { G()\nreturn 1 }",
+		// UnboundLocalError and scoping quirks.
+		"func F() any { if false { x := 1\n_ = x }\nreturn x }",
+		"var g = 10\nfunc F() any { g = g + 1\nreturn g }",
+		// Closures, captures, cells.
+		"func F() any { n := 0\ninc := func() { n = n + 1 }\ninc()\ninc()\nreturn n }",
+		"func F() any { fs := []any{}\nfor i := 0; i < 3; i++ { j := i\nfs = append(fs, func() any { return j }) }\nreturn fs[2]() }",
+		// Collections and ranges.
+		"func F() any { m := map[string]any{\"a\": 1, \"b\": 2}\ns := 0\nfor _, v := range m { s = s + v }\nreturn s }",
+		"func F() any { xs := []any{1, 2, 3}\nxs[1] = 9\nreturn xs[0] + xs[1] + xs[2] }",
+		"func F() any { s := \"hello\"\nreturn s[1:4] + s[0:1] }",
+		// Methods and structs.
+		"type P struct{}\nfunc (p P) Add(a any, b any) any { return a + b }\nfunc F() any { p := P{}\nreturn p.Add(2, 3) }",
+		// Defer ordering and virtual clock.
+		"func F() any { r := []any{}\ndefer func() { r = append(r, 1) }()\ndefer func() { r = append(r, 2) }()\nreturn len(r) }",
+		"func F() any { sleep(5)\nreturn now() }",
+		// Deep recursion (bounded) and step budget pressure.
+		"func R(n any) any { if n <= 0 { return 0 }\nreturn R(n-1) + 1 }\nfunc F() any { return R(50) }",
+		"func F() any { for { } }",
+		// Builtins.
+		"func F() any { return len(str(123)) + int(\"42\") }",
+		"import \"fmt\"\nfunc F() any { fmt.Println(\"x\", 1)\nreturn fmt.Sprintf(\"%d\", 9) }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := []byte("package main\n" + body)
+		const maxSteps = 50_000
+
+		var treeOut bytes.Buffer
+		tree := New(Config{MaxSteps: maxSteps, Stdout: &treeOut})
+		if err := tree.LoadSource("fuzz.go", src); err != nil {
+			return // front end rejected it; nothing differential to run
+		}
+		treeVal, treeErr := tree.Call("F")
+
+		prog, err := CompileProgram([]SourceUnit{{Name: "fuzz.go", Src: src}})
+		if err != nil {
+			t.Fatalf("tree-walk loaded but CompileProgram failed: %v\nsource:\n%s", err, src)
+		}
+		for _, engine := range []string{"closure", "bytecode"} {
+			var out bytes.Buffer
+			run := NewRun(prog, Config{MaxSteps: maxSteps, Stdout: &out, Engine: engine})
+			if err := run.Boot(); err != nil {
+				t.Fatalf("%s: tree-walk loaded but Boot failed: %v\nsource:\n%s", engine, err, src)
+			}
+			val, cerr := run.Call("F")
+			if Repr(treeVal) != Repr(val) {
+				t.Errorf("%s: result mismatch:\n tree: %s\n  got: %s\nsource:\n%s",
+					engine, Repr(treeVal), Repr(val), src)
+			}
+			if fmt.Sprint(treeErr) != fmt.Sprint(cerr) {
+				t.Errorf("%s: error mismatch:\n tree: %v\n  got: %v\nsource:\n%s",
+					engine, treeErr, cerr, src)
+			}
+			if tree.Steps() != run.Steps() {
+				t.Errorf("%s: step count mismatch: tree=%d got=%d\nsource:\n%s",
+					engine, tree.Steps(), run.Steps(), src)
+			}
+			if tree.Clock() != run.Clock() {
+				t.Errorf("%s: clock mismatch: tree=%d got=%d\nsource:\n%s",
+					engine, tree.Clock(), run.Clock(), src)
+			}
+			if !bytes.Equal(treeOut.Bytes(), out.Bytes()) {
+				t.Errorf("%s: stdout mismatch:\n tree: %q\n  got: %q\nsource:\n%s",
+					engine, treeOut.String(), out.String(), src)
+			}
+		}
+	})
+}

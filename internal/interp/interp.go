@@ -57,6 +57,13 @@ type Config struct {
 	// Hook observes (and may perturb) every interpreted function call;
 	// nil disables the mechanism. See CallHook.
 	Hook CallHook
+	// Engine selects how compiled functions execute: "" or "bytecode"
+	// runs the lowered register code (the default), "closure" forces the
+	// closure-tree path. Both are observably identical; the knob exists
+	// for A/B benchmarking and as an escape hatch. The tree-walk is not
+	// an Engine value — it is a different front end (New + LoadSource
+	// instead of NewRun).
+	Engine string
 }
 
 // CallHook interposes on interpreted function calls — the runtime fault
@@ -98,6 +105,7 @@ type Interp struct {
 
 	stdout io.Writer
 	hook   CallHook
+	engine uint8
 	frames []*frame
 
 	// Compiled-execution state (NewRun): the program, the flat global
@@ -161,6 +169,7 @@ func New(cfg Config) *Interp {
 		maxSteps:   cfg.MaxSteps,
 		stdout:     cfg.Stdout,
 		hook:       cfg.Hook,
+		engine:     engineOf(cfg.Engine),
 	}
 	registerBuiltins(it)
 	return it
@@ -287,6 +296,13 @@ func (it *Interp) LoadSource(filename string, src []byte) error {
 	for _, d := range f.Decls {
 		switch decl := d.(type) {
 		case *ast.FuncDecl:
+			if decl.Body == nil {
+				// A declaration without a body is legal Go syntax (an
+				// external function) but meaningless in minigo; calling
+				// one can only crash, so reject it at load time. The
+				// compiled path raises the identical error.
+				return fmt.Errorf("interp: %s: function %s has no body", filename, decl.Name.Name)
+			}
 			if decl.Recv != nil && len(decl.Recv.List) > 0 {
 				typeName, recvName := recvInfo(decl)
 				if typeName == "" {
@@ -393,6 +409,9 @@ func (it *Interp) call(fn Value, args []Value) (Value, error) {
 	case *Closure:
 		return it.callClosure(f, args)
 	case *compiledClosure:
+		if it.engine != engineClosure && f.fn.code != nil {
+			return it.callBytecode(f, args)
+		}
 		return it.callCompiled(f, args)
 	case nil:
 		return nil, it.throw("AttributeError", "nil object is not callable")

@@ -35,6 +35,9 @@ type linker struct {
 	// compile-cache metrics.
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// incremental counts the subset of misses served by the
+	// declaration-level recompile fast path (see incrRecompile).
+	incremental atomic.Uint64
 }
 
 func newLinker() *linker {
@@ -108,6 +111,48 @@ type unit struct {
 	// consults when deciding whether a captured closure belongs to a
 	// unit that was swapped out by WithFiles.
 	allFns []*compiledFunc
+	// incr is the incremental-recompile index: the unit's source bytes
+	// plus the byte span and provenance range of every top-level
+	// function, so WithFiles can recompile just the one declaration a
+	// mutation touched. Nil (or ok=false) disables the fast path.
+	incr *incrInfo
+}
+
+// Incremental recompilation: a fault-injection campaign derives hundreds
+// of programs that each differ from the base in one contiguous byte
+// window inside one function body. Reparsing and recompiling the whole
+// file per experiment is the single largest shared cost of the execute
+// phase, so WithFiles first tries a declaration-level fast path: diff
+// the new source against the unit's recorded source, and when the
+// changed window falls inside exactly one top-level function, reparse
+// and recompile only that declaration, splicing the fresh artifact into
+// a copy of the unit. Compiled functions are position-free and resolve
+// globals through the shared interned symbol table, so the spliced unit
+// is observably identical to a full recompile. Anything unusual — a
+// window spanning declarations, a renamed function, a changed receiver
+// type, a parse error — falls back to the full path.
+
+const (
+	siteFunc   = iota // top-level plain function
+	siteMethod        // method declaration
+)
+
+// declSite records where one top-level function declaration sits in the
+// unit's source and which artifacts it produced.
+type declSite struct {
+	start, end int    // byte offsets of the decl ("func" .. closing brace)
+	kind       int    // siteFunc or siteMethod
+	name       string // function or method name
+	typeName   string // receiver type for methods
+	opIdx      int    // index into unit.ops (siteFunc only)
+	fnsLo      int    // provenance range [fnsLo,fnsHi) into allFns:
+	fnsHi      int    // the decl's compiledFunc plus its nested literals
+}
+
+type incrInfo struct {
+	src   []byte
+	sites []declSite
+	ok    bool // offsets validated against src
 }
 
 // Program is a compiled, immutable minigo program: safe for concurrent
@@ -153,7 +198,7 @@ func CompileProgram(files []SourceUnit) (*Program, error) {
 	p := &Program{ln: ln, globals: globals}
 	for i, su := range files {
 		c := &compiler{file: su.Name, syms: ln, globals: globals}
-		u, err := compileUnit(c, su.Name, asts[i])
+		u, err := compileUnit(c, su.Name, su.Src, asts[i])
 		if err != nil {
 			return nil, err
 		}
@@ -197,6 +242,11 @@ func (p *Program) WithFiles(overlay map[string][]byte) (*Program, error) {
 		u, ok := p.ln.cachedUnit(key)
 		if ok {
 			p.ln.hits.Add(1)
+		} else if nu, ok := p.incrRecompile(p.units[i], src); ok {
+			p.ln.misses.Add(1)
+			p.ln.incremental.Add(1)
+			u = nu
+			p.ln.storeUnit(key, u)
 		} else {
 			p.ln.misses.Add(1)
 			f, err := parser.ParseFile(token.NewFileSet(), name, src, parser.SkipObjectResolution)
@@ -208,7 +258,7 @@ func (p *Program) WithFiles(overlay map[string][]byte) (*Program, error) {
 				globals = cloneWith(globals, extra)
 			}
 			c := &compiler{file: name, syms: p.ln, globals: globals}
-			u, err = compileUnit(c, name, f)
+			u, err = compileUnit(c, name, src, f)
 			if err != nil {
 				return nil, err
 			}
@@ -228,9 +278,185 @@ func (p *Program) WithFiles(overlay map[string][]byte) (*Program, error) {
 // from the content-hash cache (hits) vs freshly compiled (misses),
 // accumulated across the program and everything derived from it —
 // base and derived programs share one linker, so a campaign reads its
-// whole compile-cache history off its base program.
+// whole compile-cache history off its base program. Cached units carry
+// their lowered bytecode alongside the closure trees (both artifacts
+// are built by one fused compile walk), so a hit serves both engines.
 func (p *Program) CacheStats() (hits, misses uint64) {
 	return p.ln.hits.Load(), p.ln.misses.Load()
+}
+
+// IncrementalRecompiles reports how many of the CacheStats misses were
+// served by the declaration-level fast path (one decl reparsed and
+// recompiled) instead of a whole-file recompile.
+func (p *Program) IncrementalRecompiles() uint64 {
+	return p.ln.incremental.Load()
+}
+
+// incrRecompile attempts the declaration-level WithFiles fast path:
+// when src differs from base's recorded source in one contiguous
+// window inside a single top-level function, recompile only that
+// declaration and splice it into a copy of the unit. Returns false
+// whenever the diff is not provably that shape — the caller then takes
+// the full reparse+recompile path, which handles everything.
+func (p *Program) incrRecompile(base *unit, src []byte) (*unit, bool) {
+	inc := base.incr
+	if inc == nil || !inc.ok {
+		return nil, false
+	}
+	old := inc.src
+	delta := len(src) - len(old)
+
+	// Changed window: common prefix, then common suffix of the rest.
+	n := min(len(old), len(src))
+	a := 0
+	for a < n && old[a] == src[a] {
+		a++
+	}
+	if a == len(old) && delta == 0 {
+		return nil, false // identical bytes; the unit cache already covers this
+	}
+	b := 0
+	for b < n-a && old[len(old)-1-b] == src[len(src)-1-b] {
+		b++
+	}
+	lo, hi := a, len(old)-b // changed window in old's coordinates
+
+	// The window must fall inside exactly one recorded function decl.
+	var site *declSite
+	for i := range inc.sites {
+		s := &inc.sites[i]
+		if lo >= s.start && hi <= s.end {
+			site = s
+			break
+		}
+	}
+	if site == nil {
+		return nil, false
+	}
+
+	// Reparse just that declaration. A standalone parse needs a package
+	// clause; compiled artifacts are position-free, so the shifted
+	// offsets don't matter. Parse errors fall back to the full path,
+	// which reports them with the file's real context.
+	text := src[site.start : site.end+delta]
+	pf, err := parser.ParseFile(token.NewFileSet(), base.name,
+		append([]byte("package p\n"), text...), parser.SkipObjectResolution)
+	if err != nil || len(pf.Decls) != 1 || len(pf.Imports) != 0 {
+		return nil, false
+	}
+	fd, ok := pf.Decls[0].(*ast.FuncDecl)
+	if !ok || fd.Name.Name != site.name || fd.Body == nil {
+		return nil, false
+	}
+
+	// Compile the one declaration against the shared symbol table and
+	// the program's global name set (unchanged: the name check above
+	// rules out new top-level bindings).
+	c := &compiler{file: base.name, syms: p.ln, globals: p.globals}
+	var newFn *compiledFunc
+	var newOp initOp
+	switch site.kind {
+	case siteMethod:
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			return nil, false
+		}
+		typeName, recvName := recvInfo(fd)
+		if typeName != site.typeName {
+			return nil, false
+		}
+		newFn = c.compileFunc(nil, typeName+"."+fd.Name.Name, fd.Type, fd.Body, recvName)
+	default:
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			return nil, false
+		}
+		newFn = c.compileFunc(nil, fd.Name.Name, fd.Type, fd.Body, "")
+		newOp = initOp{gidx: p.ln.intern(fd.Name.Name), name: fd.Name.Name,
+			fn: &compiledClosure{fn: newFn}}
+	}
+
+	// Splice: copy the unit, swap the one artifact, rebuild provenance
+	// and the incremental index (byte spans and provenance ranges after
+	// the changed decl shift by the respective deltas).
+	nu := &unit{name: base.name, imports: base.imports, topNames: base.topNames}
+	nu.ops = append([]initOp(nil), base.ops...)
+	nu.methods = base.methods
+	if site.kind == siteMethod {
+		nu.methods = make(map[string]map[string]*compiledFunc, len(base.methods))
+		for tn, ms := range base.methods {
+			nu.methods[tn] = ms
+		}
+		ms := make(map[string]*compiledFunc, len(base.methods[site.typeName]))
+		for mn, fn := range base.methods[site.typeName] {
+			ms[mn] = fn
+		}
+		ms[site.name] = newFn
+		nu.methods[site.typeName] = ms
+	} else {
+		nu.ops[site.opIdx] = newOp
+	}
+	newFns := c.fns
+	dn := len(newFns) - (site.fnsHi - site.fnsLo)
+	nu.allFns = make([]*compiledFunc, 0, len(base.allFns)+dn)
+	nu.allFns = append(nu.allFns, base.allFns[:site.fnsLo]...)
+	nu.allFns = append(nu.allFns, newFns...)
+	nu.allFns = append(nu.allFns, base.allFns[site.fnsHi:]...)
+
+	sites := append([]declSite(nil), inc.sites...)
+	for i := range sites {
+		s := &sites[i]
+		switch {
+		case s.start >= site.end: // strictly after the changed decl
+			s.start += delta
+			s.end += delta
+			s.fnsLo += dn
+			s.fnsHi += dn
+		case s.start == site.start: // the changed decl itself
+			s.end += delta
+			s.fnsHi = s.fnsLo + len(newFns)
+		}
+	}
+	nu.incr = &incrInfo{src: src, sites: sites, ok: true}
+	return nu, true
+}
+
+// LoweringReport summarizes how completely a program lowered to
+// register bytecode. Functions whose bodies contain statements without
+// a native lowering run those statements through closure escapes —
+// correct but closure-speed — so benchmarks gate on this report to
+// catch silent regressions of the bytecode engine's coverage.
+type LoweringReport struct {
+	// Funcs counts compiled functions, nested literals included.
+	Funcs int
+	// Fully counts functions whose bodies lowered with zero statement
+	// escapes.
+	Fully int
+	// Escapes maps function name -> escaped statement count, for
+	// functions that have any (names repeat across units are summed).
+	Escapes map[string]int
+	// ExprEscapes totals expression escapes (subexpressions evaluated
+	// through the closure artifact) across all functions.
+	ExprEscapes int
+}
+
+// LoweringReport reports bytecode lowering coverage across every
+// function of the program's units.
+func (p *Program) LoweringReport() LoweringReport {
+	rep := LoweringReport{Escapes: map[string]int{}}
+	for _, u := range p.units {
+		for _, fn := range u.allFns {
+			if fn.code == nil {
+				continue
+			}
+			rep.Funcs++
+			rep.ExprEscapes += fn.code.exprEscapes
+			if fn.code.escapes == 0 {
+				rep.Fully++
+			} else {
+				rep.Escapes[fn.name] += fn.code.escapes
+			}
+		}
+	}
+	return rep
 }
 
 func unitKey(name string, src []byte) [sha256.Size]byte {
@@ -315,10 +541,15 @@ func topLevelNames(f *ast.File) []string {
 }
 
 // compileUnit lowers one parsed file, mirroring LoadSource's declaration
-// walk (imports, then declarations in source order).
-func compileUnit(c *compiler, name string, f *ast.File) (*unit, error) {
+// walk (imports, then declarations in source order). src, when
+// non-empty, is the file's source bytes; it feeds the incremental
+// recompile index (declaration byte spans validated against it).
+func compileUnit(c *compiler, name string, src []byte, f *ast.File) (*unit, error) {
 	u := &unit{name: name, topNames: topLevelNames(f)}
 	defer func() { u.allFns = c.fns }()
+	if len(src) > 0 {
+		u.incr = &incrInfo{src: src, ok: true}
+	}
 	for _, imp := range f.Imports {
 		path := strings.Trim(imp.Path.Value, `"`)
 		bound := path
@@ -333,6 +564,23 @@ func compileUnit(c *compiler, name string, f *ast.File) (*unit, error) {
 	for _, d := range f.Decls {
 		switch decl := d.(type) {
 		case *ast.FuncDecl:
+			if decl.Body == nil {
+				// Same load-time rejection as the tree-walk's LoadSource.
+				return nil, fmt.Errorf("interp: %s: function %s has no body", name, decl.Name.Name)
+			}
+			site := declSite{opIdx: -1, fnsLo: len(c.fns)}
+			if u.incr != nil {
+				// Offsets are fset-independent: positions relative to the
+				// file's own start. Validate against the bytes so an AST
+				// parsed from a different source can never mislead the
+				// incremental differ.
+				site.start = int(decl.Pos() - f.FileStart)
+				site.end = int(decl.End() - f.FileStart)
+				if site.start < 0 || site.end <= site.start || site.end > len(src) ||
+					!strings.HasPrefix(string(src[site.start:min(site.start+4, len(src))]), "func") {
+					u.incr.ok = false
+				}
+			}
 			if decl.Recv != nil && len(decl.Recv.List) > 0 {
 				typeName, recvName := recvInfo(decl)
 				if typeName == "" {
@@ -346,6 +594,11 @@ func compileUnit(c *compiler, name string, f *ast.File) (*unit, error) {
 					u.methods[typeName] = make(map[string]*compiledFunc)
 				}
 				u.methods[typeName][decl.Name.Name] = fn
+				if u.incr != nil {
+					site.kind, site.name, site.typeName = siteMethod, decl.Name.Name, typeName
+					site.fnsHi = len(c.fns)
+					u.incr.sites = append(u.incr.sites, site)
+				}
 				continue
 			}
 			fn := c.compileFunc(nil, decl.Name.Name, decl.Type, decl.Body, "")
@@ -354,6 +607,11 @@ func compileUnit(c *compiler, name string, f *ast.File) (*unit, error) {
 				name: decl.Name.Name,
 				fn:   &compiledClosure{fn: fn},
 			})
+			if u.incr != nil {
+				site.kind, site.name, site.opIdx = siteFunc, decl.Name.Name, len(u.ops)-1
+				site.fnsHi = len(c.fns)
+				u.incr.sites = append(u.incr.sites, site)
+			}
 		case *ast.GenDecl:
 			if decl.Tok == token.VAR || decl.Tok == token.CONST {
 				for _, spec := range decl.Specs {
@@ -391,6 +649,7 @@ func NewRun(p *Program, cfg Config) *Interp {
 		maxSteps:   cfg.MaxSteps,
 		stdout:     cfg.Stdout,
 		hook:       cfg.Hook,
+		engine:     engineOf(cfg.Engine),
 		prog:       p,
 	}
 	it.gslots = make([]Value, p.ln.size())
@@ -549,6 +808,26 @@ func getCframe(n int) *cframe {
 		cf.slots = cf.slots[:n]
 	}
 	for i := range cf.slots {
+		cf.slots[i] = unbound
+	}
+	return cf
+}
+
+// getCframeVM sizes a frame for the bytecode engine: the local region
+// [0,nslots) gets the unbound sentinel exactly like getCframe, while the
+// temp region [nslots,nframe) stays nil — temps are written before they
+// are read (stack discipline in the lowering), so the fill would be pure
+// per-call overhead. Slots beyond a pooled frame's previous length are
+// nil by construction: putCframe nils its length and fresh allocations
+// are zeroed.
+func getCframeVM(nframe, nslots int) *cframe {
+	cf := cframePool.Get().(*cframe)
+	if cap(cf.slots) < nframe {
+		cf.slots = make([]Value, nframe)
+	} else {
+		cf.slots = cf.slots[:nframe]
+	}
+	for i := 0; i < nslots; i++ {
 		cf.slots[i] = unbound
 	}
 	return cf

@@ -49,11 +49,11 @@ func TestMetricsEndpointCoversAllLayers(t *testing.T) {
 		"profipy_scheduler_job_duration_seconds_count 1",
 		// Campaign workflow.
 		`profipy_campaign_runs_total{status="completed"} 1`,
-		`profipy_campaign_experiments_total{result="ok"} 6`,
+		`profipy_campaign_experiments_total{result="ok",engine="bytecode"} 6`,
 		`profipy_campaign_phase_seconds_count{phase="execute"} 1`,
 		"profipy_campaign_compile_cache_",
 		// Executor (sharded engine).
-		`profipy_executor_records_total{engine="sharded(2×1)"} 6`,
+		`profipy_executor_records_total{engine="bytecode",executor="sharded(2×1)"} 6`,
 		"profipy_executor_shard_seconds_count 2",
 		// Result store.
 		"profipy_resultstore_appends_total 6",

@@ -36,6 +36,12 @@ type Config struct {
 	// drop out of the hot loop. The campaign compiles the base file set
 	// once and derives one program per experiment (mutated file only).
 	Program *interp.Program
+	// Engine selects the compiled program's execution engine
+	// (interp.Config.Engine): "" or "bytecode" runs the lowered
+	// register bytecode, "closure" the closure tree. Ignored on the
+	// tree-walk path (no Program); results are byte-identical either
+	// way, only speed differs.
+	Engine string
 	// Rounds is the number of workload rounds; 0 selects the paper's
 	// two-round protocol.
 	Rounds int
@@ -161,6 +167,7 @@ func runRound(c *sandbox.Container, cfg Config) (RoundResult, error) {
 		DeadlineNS: cfg.TimeoutNS,
 		MaxSteps:   cfg.MaxSteps,
 		Stdout:     c.Log("stdout"),
+		Engine:     cfg.Engine,
 	}
 	if cfg.Injector != nil {
 		icfg.Hook = cfg.Injector

@@ -54,6 +54,7 @@ func remoteSpec(c *campaign.Campaign) remote.CampaignSpec {
 		SampleN:       c.SampleN,
 		ReducePlan:    c.ReducePlan,
 		TreeWalk:      c.TreeWalk,
+		Engine:        c.Engine,
 	}
 }
 
